@@ -1,0 +1,88 @@
+// Package bounds implements the concentration inequalities the paper's
+// sampling algorithms rest on: the Hoeffding inequality (Lemma 4, used by
+// ADDATP) and the Relative+Additive martingale bound (Lemma 7, used by
+// HATP), together with the sample-size calculators θ(ζ,δ) and θ(ε,ζ,δ)
+// read off Algorithms 3 and 4.
+package bounds
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoeffdingTail bounds Pr[|X̄ − E[X̄]| ≥ ζ] for θ i.i.d. samples in [0,1]:
+// 2·exp(−2θζ²) (Lemma 4 with b−a = 1).
+func HoeffdingTail(theta int, zeta float64) float64 {
+	if theta <= 0 {
+		return 1
+	}
+	return math.Min(1, 2*math.Exp(-2*float64(theta)*zeta*zeta))
+}
+
+// HoeffdingTheta returns the sample size used in ADDATP's inner loop
+// (Algorithm 3, line 8): θ = ln(8/δ) / (2ζ²). The result is rounded up
+// and at least 1.
+func HoeffdingTheta(zeta, delta float64) (int, error) {
+	if zeta <= 0 || zeta >= 1 {
+		return 0, fmt.Errorf("bounds: additive error %v outside (0,1)", zeta)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("bounds: failure probability %v outside (0,1)", delta)
+	}
+	theta := math.Log(8/delta) / (2 * zeta * zeta)
+	return ceilAtLeast1(theta), nil
+}
+
+// HybridUpperTail bounds Pr[X̄ ≥ (1+ε)µ + ζ] per Lemma 7, eq. (10):
+// exp(−2θεζ / (1+ε/3)²).
+func HybridUpperTail(theta int, eps, zeta float64) float64 {
+	if theta <= 0 {
+		return 1
+	}
+	e := 2 * float64(theta) * eps * zeta / ((1 + eps/3) * (1 + eps/3))
+	return math.Min(1, math.Exp(-e))
+}
+
+// HybridLowerTail bounds Pr[X̄ ≤ (1−ε)µ − ζ] per Lemma 7, eq. (11):
+// exp(−2θεζ).
+func HybridLowerTail(theta int, eps, zeta float64) float64 {
+	if theta <= 0 {
+		return 1
+	}
+	return math.Min(1, math.Exp(-2*float64(theta)*eps*zeta))
+}
+
+// HybridTheta returns the sample size used in HATP's inner loop
+// (Algorithm 4, line 8): θ = (1+ε/3)² / (2εζ) · ln(4/δ).
+func HybridTheta(eps, zeta, delta float64) (int, error) {
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("bounds: relative error %v outside (0,1)", eps)
+	}
+	if zeta <= 0 || zeta >= 1 {
+		return 0, fmt.Errorf("bounds: additive error %v outside (0,1)", zeta)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("bounds: failure probability %v outside (0,1)", delta)
+	}
+	theta := (1 + eps/3) * (1 + eps/3) / (2 * eps * zeta) * math.Log(4/delta)
+	return ceilAtLeast1(theta), nil
+}
+
+func ceilAtLeast1(x float64) int {
+	v := int(math.Ceil(x))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// ConfidenceInterval returns the symmetric additive half-width ζ such that
+// a mean of θ samples in [0,1] deviates by more than ζ with probability at
+// most δ (inverse Hoeffding). Used by diagnostics and EXPERIMENTS.md
+// reporting.
+func ConfidenceInterval(theta int, delta float64) float64 {
+	if theta <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	return math.Sqrt(math.Log(2/delta) / (2 * float64(theta)))
+}

@@ -1,0 +1,175 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestHoeffdingThetaFormula(t *testing.T) {
+	// θ = ln(8/δ)/(2ζ²) for ζ=0.1, δ=0.01: ln(800)/0.02 ≈ 334.2 → 335.
+	got, err := HoeffdingTheta(0.1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(math.Log(800) / 0.02))
+	if got != want {
+		t.Fatalf("HoeffdingTheta = %d, want %d", got, want)
+	}
+}
+
+func TestHybridThetaFormula(t *testing.T) {
+	// θ = (1+ε/3)²/(2εζ)·ln(4/δ).
+	eps, zeta, delta := 0.5, 0.05, 0.001
+	got, err := HybridTheta(eps, zeta, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil((1 + eps/3) * (1 + eps/3) / (2 * eps * zeta) * math.Log(4/delta)))
+	if got != want {
+		t.Fatalf("HybridTheta = %d, want %d", got, want)
+	}
+}
+
+func TestThetaErrors(t *testing.T) {
+	bad := []struct{ zeta, delta float64 }{
+		{0, 0.1}, {1, 0.1}, {-0.1, 0.1}, {0.1, 0}, {0.1, 1}, {0.1, -2},
+	}
+	for _, c := range bad {
+		if _, err := HoeffdingTheta(c.zeta, c.delta); err == nil {
+			t.Errorf("HoeffdingTheta(%v,%v) accepted", c.zeta, c.delta)
+		}
+	}
+	if _, err := HybridTheta(0, 0.1, 0.1); err == nil {
+		t.Error("HybridTheta accepted eps=0")
+	}
+	if _, err := HybridTheta(0.1, 2, 0.1); err == nil {
+		t.Error("HybridTheta accepted zeta=2")
+	}
+	if _, err := HybridTheta(0.1, 0.1, 0); err == nil {
+		t.Error("HybridTheta accepted delta=0")
+	}
+}
+
+func TestTailsMonotoneInTheta(t *testing.T) {
+	prevH, prevU, prevL := 1.0, 1.0, 1.0
+	for _, theta := range []int{1, 10, 100, 1000, 10000} {
+		h := HoeffdingTail(theta, 0.05)
+		u := HybridUpperTail(theta, 0.2, 0.05)
+		l := HybridLowerTail(theta, 0.2, 0.05)
+		if h > prevH || u > prevU || l > prevL {
+			t.Fatalf("tail grew with theta=%d", theta)
+		}
+		prevH, prevU, prevL = h, u, l
+	}
+}
+
+func TestTailsCappedAtOne(t *testing.T) {
+	if HoeffdingTail(0, 0.5) != 1 || HybridUpperTail(0, 0.5, 0.5) != 1 || HybridLowerTail(0, 0.5, 0.5) != 1 {
+		t.Fatal("theta=0 should give trivial bound 1")
+	}
+	if HoeffdingTail(1, 1e-9) > 1 {
+		t.Fatal("tail exceeded 1")
+	}
+}
+
+func TestHoeffdingThetaDeliversError(t *testing.T) {
+	// Empirical check: with θ = HoeffdingTheta(ζ, δ), the fraction of
+	// trials where a Bernoulli mean misses by more than ζ must be ≲ δ.
+	zeta, delta := 0.05, 0.1
+	theta, err := HoeffdingTheta(zeta, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	const trials = 2000
+	p := 0.37
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		hits := 0
+		for i := 0; i < theta; i++ {
+			if r.Coin(p) {
+				hits++
+			}
+		}
+		if math.Abs(float64(hits)/float64(theta)-p) > zeta {
+			misses++
+		}
+	}
+	if frac := float64(misses) / trials; frac > delta {
+		t.Fatalf("miss rate %.4f exceeds δ=%v (θ=%d)", frac, delta, theta)
+	}
+}
+
+func TestHybridBoundDeliversError(t *testing.T) {
+	// With θ = HybridTheta(ε, ζ, δ), Pr[X̄ ≥ (1+ε)µ+ζ or X̄ ≤ (1−ε)µ−ζ]
+	// must be ≲ δ (sum of the two one-sided bounds ≤ 2·(δ/4)·2 < δ).
+	eps, zeta, delta := 0.3, 0.02, 0.1
+	theta, err := HybridTheta(eps, zeta, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	const trials = 2000
+	p := 0.2
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		hits := 0
+		for i := 0; i < theta; i++ {
+			if r.Coin(p) {
+				hits++
+			}
+		}
+		x := float64(hits) / float64(theta)
+		if x >= (1+eps)*p+zeta || x <= (1-eps)*p-zeta {
+			misses++
+		}
+	}
+	if frac := float64(misses) / trials; frac > delta {
+		t.Fatalf("miss rate %.4f exceeds δ=%v (θ=%d)", frac, delta, theta)
+	}
+}
+
+func TestHybridVsAdditiveSampleEfficiency(t *testing.T) {
+	// The point of §IV-A: to resolve a unit-scale judgement (niζ ≈ 1, i.e.
+	// ζ ≈ 1/n), the additive bound needs Θ(n²) samples while the hybrid
+	// bound needs Θ(n/ε). Check the ratio grows with n.
+	delta := 0.01
+	prevRatio := 0.0
+	for _, n := range []int{100, 1000, 10000} {
+		zeta := 1 / float64(n)
+		add, err := HoeffdingTheta(zeta, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := HybridTheta(0.1, zeta, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(add) / float64(hyb)
+		if ratio <= prevRatio {
+			t.Fatalf("additive/hybrid sample ratio not growing: n=%d ratio=%.1f prev=%.1f",
+				n, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 50 {
+		t.Fatalf("hybrid bound should be ≫ cheaper at n=10000; ratio=%.1f", prevRatio)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	// Inverse relationship: HoeffdingTail(θ, CI(θ,δ)) ≈ δ.
+	for _, theta := range []int{100, 1000, 10000} {
+		delta := 0.05
+		ci := ConfidenceInterval(theta, delta)
+		tail := HoeffdingTail(theta, ci)
+		if math.Abs(tail-delta) > 1e-9 {
+			t.Fatalf("θ=%d: tail at CI = %v, want %v", theta, tail, delta)
+		}
+	}
+	if ConfidenceInterval(0, 0.1) != 1 || ConfidenceInterval(10, 0) != 1 {
+		t.Fatal("degenerate inputs should give trivial interval 1")
+	}
+}

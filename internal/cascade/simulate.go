@@ -1,0 +1,94 @@
+package cascade
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Spread returns I_φ(S): the number of nodes reachable from S along live
+// edges of the realization. Seeds count themselves.
+func Spread(rz *Realization, seeds []graph.NodeID) int {
+	visited := make([]bool, rz.g.N())
+	return spreadInto(rz, seeds, nil, visited, nil)
+}
+
+// SpreadOn returns the spread of seeds restricted to a residual view:
+// removed nodes neither activate nor relay influence. Seeds that are not
+// alive contribute nothing.
+func SpreadOn(rz *Realization, res *graph.Residual, seeds []graph.NodeID) int {
+	visited := make([]bool, rz.g.N())
+	return spreadInto(rz, seeds, res, visited, nil)
+}
+
+// Activated returns A(S): the exact set of nodes activated by seeding S
+// under the realization, restricted to the residual view if res != nil.
+// The result includes the (alive) seeds themselves, in BFS order.
+func Activated(rz *Realization, res *graph.Residual, seeds []graph.NodeID) []graph.NodeID {
+	visited := make([]bool, rz.g.N())
+	out := make([]graph.NodeID, 0, 16)
+	spreadInto(rz, seeds, res, visited, &out)
+	return out
+}
+
+// spreadInto runs the BFS shared by Spread/SpreadOn/Activated. It returns
+// the number of activated nodes; when sink is non-nil the activated nodes
+// are appended to it.
+func spreadInto(rz *Realization, seeds []graph.NodeID, res *graph.Residual, visited []bool, sink *[]graph.NodeID) int {
+	queue := make([]graph.NodeID, 0, len(seeds))
+	count := 0
+	push := func(u graph.NodeID) {
+		if visited[u] {
+			return
+		}
+		if res != nil && !res.Alive(u) {
+			return
+		}
+		visited[u] = true
+		count++
+		queue = append(queue, u)
+		if sink != nil {
+			*sink = append(*sink, u)
+		}
+	}
+	for _, s := range seeds {
+		push(s)
+	}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for _, v := range rz.LiveOut(u) {
+			push(v)
+		}
+	}
+	return count
+}
+
+// MonteCarloSpread estimates E[I(S)] on g by averaging Spread over reps
+// fresh realizations. Deterministic given r's state.
+func MonteCarloSpread(g *graph.Graph, model Model, seeds []graph.NodeID, reps int, r *rng.RNG) float64 {
+	if reps <= 0 {
+		panic("cascade: MonteCarloSpread needs reps > 0")
+	}
+	total := 0
+	for i := 0; i < reps; i++ {
+		rz := Sample(g, model, r)
+		total += Spread(rz, seeds)
+	}
+	return float64(total) / float64(reps)
+}
+
+// MonteCarloSpreadOn estimates the expected spread of seeds on a residual
+// view of g. Realizations are drawn on the full graph; dead nodes are
+// excluded from activation, which matches the paper's E[I_{G_i}(·)]
+// because live edges incident to dead nodes can never fire.
+func MonteCarloSpreadOn(res *graph.Residual, model Model, seeds []graph.NodeID, reps int, r *rng.RNG) float64 {
+	if reps <= 0 {
+		panic("cascade: MonteCarloSpreadOn needs reps > 0")
+	}
+	g := res.Graph()
+	total := 0
+	for i := 0; i < reps; i++ {
+		rz := Sample(g, model, r)
+		total += SpreadOn(rz, res, seeds)
+	}
+	return float64(total) / float64(reps)
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// The builder accepts edges in any order, optionally deduplicates parallel
+// edges, and supports the paper's standard weighted-cascade (WC) weighting
+// p(u,v) = 1/indeg(v) applied after all edges are known.
+type Builder struct {
+	n        int32
+	directed bool
+	edges    []Edge
+}
+
+// NewBuilder creates a builder for a graph with n nodes. directed records
+// the declared dataset type (Table II); undirected datasets should add
+// each edge once and call AddUndirected or build with both directions.
+func NewBuilder(n int, directed bool) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: int32(n), directed: directed}
+}
+
+// N returns the declared node count.
+func (b *Builder) N() int { return int(b.n) }
+
+// AddEdge adds one directed edge u -> v with probability p.
+func (b *Builder) AddEdge(u, v NodeID, p float64) error {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop on node %d rejected", u)
+	}
+	if p <= 0 || p > 1 {
+		return fmt.Errorf("graph: edge (%d,%d) probability %v outside (0,1]", u, v, p)
+	}
+	b.edges = append(b.edges, Edge{From: u, To: v, P: p})
+	return nil
+}
+
+// AddUndirected adds both directions of an undirected edge with the same
+// probability.
+func (b *Builder) AddUndirected(u, v NodeID, p float64) error {
+	if err := b.AddEdge(u, v, p); err != nil {
+		return err
+	}
+	return b.AddEdge(v, u, p)
+}
+
+// AddArc is AddEdge with a placeholder probability of 1; use together with
+// ApplyWeightedCascade when probabilities are derived from degrees.
+func (b *Builder) AddArc(u, v NodeID) error { return b.AddEdge(u, v, 1) }
+
+// Dedup removes parallel edges, keeping the first occurrence of each
+// (from, to) pair. Returns the number of edges removed.
+func (b *Builder) Dedup() int {
+	seen := make(map[[2]NodeID]struct{}, len(b.edges))
+	kept := b.edges[:0]
+	removed := 0
+	for _, e := range b.edges {
+		k := [2]NodeID{e.From, e.To}
+		if _, dup := seen[k]; dup {
+			removed++
+			continue
+		}
+		seen[k] = struct{}{}
+		kept = append(kept, e)
+	}
+	b.edges = kept
+	return removed
+}
+
+// ApplyWeightedCascade sets every edge's probability to 1/indeg(to), the
+// weighting used throughout the paper's experiments ("we set the edge
+// probability p(<u,v>) = 1/indeg_v").
+func (b *Builder) ApplyWeightedCascade() {
+	indeg := make([]int64, b.n)
+	for _, e := range b.edges {
+		indeg[e.To]++
+	}
+	for i := range b.edges {
+		b.edges[i].P = 1 / float64(indeg[b.edges[i].To])
+	}
+}
+
+// ApplyUniformProbability sets every edge's probability to p.
+func (b *Builder) ApplyUniformProbability(p float64) error {
+	if p <= 0 || p > 1 {
+		return fmt.Errorf("graph: uniform probability %v outside (0,1]", p)
+	}
+	for i := range b.edges {
+		b.edges[i].P = p
+	}
+	return nil
+}
+
+// ApplyTrivalency assigns each edge one of the classic trivalency values
+// {0.1, 0.01, 0.001} chosen by the pick function (commonly a seeded RNG's
+// Intn(3)). The pick function receives the edge index.
+func (b *Builder) ApplyTrivalency(pick func(i int) int) {
+	vals := [3]float64{0.1, 0.01, 0.001}
+	for i := range b.edges {
+		b.edges[i].P = vals[pick(i)%3]
+	}
+}
+
+// Build produces the immutable CSR graph. The builder remains usable.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	m := int64(len(b.edges))
+	g := &Graph{
+		n:        n,
+		m:        m,
+		directed: b.directed,
+		outIdx:   make([]int64, n+1),
+		outAdj:   make([]NodeID, m),
+		outP:     make([]float64, m),
+		inIdx:    make([]int64, n+1),
+		inAdj:    make([]NodeID, m),
+		inP:      make([]float64, m),
+	}
+
+	// Counting sort into CSR for both directions; deterministic layout:
+	// neighbors sorted by (source, target) for out, (target, source) for in.
+	sorted := make([]Edge, m)
+	copy(sorted, b.edges)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].From != sorted[j].From {
+			return sorted[i].From < sorted[j].From
+		}
+		return sorted[i].To < sorted[j].To
+	})
+	for _, e := range sorted {
+		g.outIdx[e.From+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		g.outIdx[i+1] += g.outIdx[i]
+	}
+	cursor := make([]int64, n)
+	for _, e := range sorted {
+		pos := g.outIdx[e.From] + cursor[e.From]
+		g.outAdj[pos] = e.To
+		g.outP[pos] = e.P
+		cursor[e.From]++
+	}
+
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].To != sorted[j].To {
+			return sorted[i].To < sorted[j].To
+		}
+		return sorted[i].From < sorted[j].From
+	})
+	for _, e := range sorted {
+		g.inIdx[e.To+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		g.inIdx[i+1] += g.inIdx[i]
+	}
+	for i := range cursor {
+		cursor[i] = 0
+	}
+	for _, e := range sorted {
+		pos := g.inIdx[e.To] + cursor[e.To]
+		g.inAdj[pos] = e.From
+		g.inP[pos] = e.P
+		cursor[e.To]++
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor for tests and examples.
+func FromEdges(n int, directed bool, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n, directed)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To, e.P); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// MustFromEdges is FromEdges that panics on error; for tests with literal
+// edge lists that are known valid.
+func MustFromEdges(n int, directed bool, edges []Edge) *Graph {
+	g, err := FromEdges(n, directed, edges)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,187 @@
+// Package graph provides the probabilistic directed-graph substrate that
+// every algorithm in the repository runs on.
+//
+// A Graph is an immutable compressed-sparse-row (CSR) structure holding
+// both out-adjacency (used by forward cascades) and in-adjacency (used by
+// reverse-reachable-set sampling). Each directed edge carries an influence
+// probability p(e) in (0, 1], matching the Independent Cascade model of
+// Kempe et al. that the paper builds on.
+//
+// Mutation happens only through Builder; once built, a Graph is safe for
+// concurrent readers. Residual graphs (the paper's G_i) are lightweight
+// mask-based views provided by the Residual type.
+package graph
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node. Nodes are dense integers in [0, N).
+type NodeID = int32
+
+// Edge is one directed, weighted edge.
+type Edge struct {
+	From NodeID
+	To   NodeID
+	P    float64 // influence probability in (0, 1]
+}
+
+// Graph is an immutable probabilistic directed graph in CSR form.
+type Graph struct {
+	n int32
+	m int64
+
+	// Out-adjacency: edges leaving node u occupy
+	// outAdj[outIdx[u]:outIdx[u+1]], probabilities in outP at the same
+	// positions.
+	outIdx []int64
+	outAdj []NodeID
+	outP   []float64
+
+	// In-adjacency: edges entering node v occupy
+	// inAdj[inIdx[v]:inIdx[v+1]] (the sources), probabilities in inP.
+	inIdx []int64
+	inAdj []NodeID
+	inP   []float64
+
+	directed bool
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return int(g.n) }
+
+// M returns the number of directed edges. For graphs built from an
+// undirected edge list, each undirected edge contributes two directed edges
+// and M counts both.
+func (g *Graph) M() int64 { return g.m }
+
+// Directed reports whether the graph was declared directed at build time.
+// This only affects dataset statistics (Table II reports the declared
+// type); the adjacency structure is always directed internally.
+func (g *Graph) Directed() bool { return g.directed }
+
+// OutDegree returns the number of edges leaving u.
+func (g *Graph) OutDegree(u NodeID) int {
+	return int(g.outIdx[u+1] - g.outIdx[u])
+}
+
+// InDegree returns the number of edges entering v.
+func (g *Graph) InDegree(v NodeID) int {
+	return int(g.inIdx[v+1] - g.inIdx[v])
+}
+
+// OutNeighbors returns the targets of edges leaving u and their
+// probabilities. The returned slices alias internal storage and must not
+// be modified.
+func (g *Graph) OutNeighbors(u NodeID) ([]NodeID, []float64) {
+	lo, hi := g.outIdx[u], g.outIdx[u+1]
+	return g.outAdj[lo:hi], g.outP[lo:hi]
+}
+
+// InNeighbors returns the sources of edges entering v and their
+// probabilities. The returned slices alias internal storage and must not
+// be modified.
+func (g *Graph) InNeighbors(v NodeID) ([]NodeID, []float64) {
+	lo, hi := g.inIdx[v], g.inIdx[v+1]
+	return g.inAdj[lo:hi], g.inP[lo:hi]
+}
+
+// Edges returns a copy of all directed edges in deterministic
+// (source-major) order. Intended for tests, serialization and small
+// graphs; it allocates O(M).
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := int32(0); u < g.n; u++ {
+		adj, ps := g.OutNeighbors(u)
+		for i, v := range adj {
+			edges = append(edges, Edge{From: u, To: v, P: ps[i]})
+		}
+	}
+	return edges
+}
+
+// EdgeProbability returns the probability of edge (u, v) and whether the
+// edge exists. If parallel edges exist, the first is returned.
+func (g *Graph) EdgeProbability(u, v NodeID) (float64, bool) {
+	adj, ps := g.OutNeighbors(u)
+	for i, w := range adj {
+		if w == v {
+			return ps[i], true
+		}
+	}
+	return 0, false
+}
+
+// Validate performs internal consistency checks and returns a descriptive
+// error on the first violation. It is O(N + M) and intended for tests and
+// for use after deserialization.
+func (g *Graph) Validate() error {
+	if int64(len(g.outAdj)) != g.m || int64(len(g.inAdj)) != g.m {
+		return fmt.Errorf("graph: adjacency length mismatch: out=%d in=%d m=%d",
+			len(g.outAdj), len(g.inAdj), g.m)
+	}
+	if len(g.outIdx) != int(g.n)+1 || len(g.inIdx) != int(g.n)+1 {
+		return fmt.Errorf("graph: index length mismatch for n=%d", g.n)
+	}
+	if g.outIdx[g.n] != g.m || g.inIdx[g.n] != g.m {
+		return fmt.Errorf("graph: index does not cover all edges")
+	}
+	var outCount, inCount int64
+	for u := int32(0); u < g.n; u++ {
+		if g.outIdx[u] > g.outIdx[u+1] || g.inIdx[u] > g.inIdx[u+1] {
+			return fmt.Errorf("graph: non-monotone CSR index at node %d", u)
+		}
+		outCount += g.outIdx[u+1] - g.outIdx[u]
+		inCount += g.inIdx[u+1] - g.inIdx[u]
+	}
+	if outCount != g.m || inCount != g.m {
+		return fmt.Errorf("graph: degree sums out=%d in=%d, want %d", outCount, inCount, g.m)
+	}
+	for i, v := range g.outAdj {
+		if v < 0 || v >= g.n {
+			return fmt.Errorf("graph: out edge %d targets invalid node %d", i, v)
+		}
+		if p := g.outP[i]; p <= 0 || p > 1 {
+			return fmt.Errorf("graph: out edge %d has probability %v outside (0,1]", i, p)
+		}
+	}
+	for i, u := range g.inAdj {
+		if u < 0 || u >= g.n {
+			return fmt.Errorf("graph: in edge %d comes from invalid node %d", i, u)
+		}
+		if p := g.inP[i]; p <= 0 || p > 1 {
+			return fmt.Errorf("graph: in edge %d has probability %v outside (0,1]", i, p)
+		}
+	}
+	// Every out edge must have a matching in edge with equal probability.
+	// Count-based check keeps this O(N + M).
+	type key struct{ u, v NodeID }
+	fwd := make(map[key]float64, min64(g.m, 1<<20))
+	if g.m <= 1<<20 { // full check only on graphs where the map is affordable
+		for u := int32(0); u < g.n; u++ {
+			adj, ps := g.OutNeighbors(u)
+			for i, v := range adj {
+				fwd[key{u, v}] += ps[i]
+			}
+		}
+		for v := int32(0); v < g.n; v++ {
+			adj, ps := g.InNeighbors(v)
+			for i, u := range adj {
+				fwd[key{u, v}] -= ps[i]
+			}
+		}
+		for k, d := range fwd {
+			if d != 0 {
+				return fmt.Errorf("graph: in/out mismatch on edge (%d,%d): residual %v", k.u, k.v, d)
+			}
+		}
+	}
+	return nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

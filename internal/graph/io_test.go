@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := MustFromEdges(7, true, fig1Edges())
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() || got.Directed() != g.Directed() {
+		t.Fatalf("round trip changed shape: N %d->%d M %d->%d", g.N(), got.N(), g.M(), got.M())
+	}
+	for _, e := range g.Edges() {
+		p, ok := got.EdgeProbability(e.From, e.To)
+		if !ok || p != e.P {
+			t.Fatalf("edge %+v became p=%v ok=%v", e, p, ok)
+		}
+	}
+}
+
+func TestReadUndirectedHeader(t *testing.T) {
+	in := "# a comment\nn 3 undirected\n0 1 0.5\n1 0 0.5\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Directed() {
+		t.Fatal("graph should be undirected")
+	}
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d", g.N(), g.M())
+	}
+}
+
+func TestReadDefaultProbability(t *testing.T) {
+	in := "n 2 directed\n0 1\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := g.EdgeProbability(0, 1)
+	if !ok || p != 1 {
+		t.Fatalf("default probability = %v, want 1", p)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"edge before header", "0 1 0.5\n"},
+		{"duplicate header", "n 2 directed\nn 2 directed\n"},
+		{"bad count", "n x directed\n"},
+		{"bad type", "n 2 sideways\n"},
+		{"bad source", "n 2 directed\nx 1 0.5\n"},
+		{"bad target", "n 2 directed\n0 y 0.5\n"},
+		{"bad probability", "n 2 directed\n0 1 z\n"},
+		{"out of range", "n 2 directed\n0 5 0.5\n"},
+		{"self loop", "n 2 directed\n1 1 0.5\n"},
+		{"extra fields", "n 2 directed\n0 1 0.5 9\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Read accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "\n# header comment\n\nn 2 directed\n# mid comment\n0 1 0.25\n\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+}

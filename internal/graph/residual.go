@@ -1,0 +1,131 @@
+package graph
+
+// Residual is a view of a Graph with a subset of nodes removed — the
+// paper's residual graph G_i obtained by deleting every node activated by
+// earlier seeds. It is a mask over the immutable CSR arrays: removal is
+// O(1), membership checks are O(1), and no adjacency is copied.
+//
+// A Residual is not safe for concurrent mutation; concurrent readers are
+// fine between mutations. Clone produces an independent view sharing the
+// underlying Graph.
+type Residual struct {
+	g       *Graph
+	removed []bool
+	alive   int
+	version int64 // bumped on every mutation; lets caches detect staleness
+}
+
+// NewResidual returns a residual view of g with all nodes alive.
+func NewResidual(g *Graph) *Residual {
+	return &Residual{g: g, removed: make([]bool, g.N()), alive: g.N()}
+}
+
+// Graph returns the underlying immutable graph.
+func (r *Residual) Graph() *Graph { return r.g }
+
+// N returns the number of alive nodes (the paper's n_i).
+func (r *Residual) N() int { return r.alive }
+
+// FullN returns the node count of the underlying graph.
+func (r *Residual) FullN() int { return r.g.N() }
+
+// Version returns a counter that changes whenever the alive set changes.
+func (r *Residual) Version() int64 { return r.version }
+
+// Alive reports whether node u is still present.
+func (r *Residual) Alive(u NodeID) bool { return !r.removed[u] }
+
+// Remove deletes node u from the view. Removing an already-removed node is
+// a no-op. Returns true if the node was alive.
+func (r *Residual) Remove(u NodeID) bool {
+	if r.removed[u] {
+		return false
+	}
+	r.removed[u] = true
+	r.alive--
+	r.version++
+	return true
+}
+
+// RemoveAll deletes every node in us.
+func (r *Residual) RemoveAll(us []NodeID) {
+	for _, u := range us {
+		r.Remove(u)
+	}
+}
+
+// AliveNodes returns the alive node IDs in increasing order. Allocates.
+func (r *Residual) AliveNodes() []NodeID {
+	out := make([]NodeID, 0, r.alive)
+	for u := 0; u < len(r.removed); u++ {
+		if !r.removed[u] {
+			out = append(out, NodeID(u))
+		}
+	}
+	return out
+}
+
+// M returns the number of directed edges with both endpoints alive (the
+// paper's m_i). O(M); used by complexity accounting, not hot paths.
+func (r *Residual) M() int64 {
+	var m int64
+	for u := int32(0); u < int32(r.g.N()); u++ {
+		if r.removed[u] {
+			continue
+		}
+		adj, _ := r.g.OutNeighbors(u)
+		for _, v := range adj {
+			if !r.removed[v] {
+				m++
+			}
+		}
+	}
+	return m
+}
+
+// Clone returns an independent copy of the view over the same Graph.
+func (r *Residual) Clone() *Residual {
+	cp := &Residual{
+		g:       r.g,
+		removed: make([]bool, len(r.removed)),
+		alive:   r.alive,
+		version: r.version,
+	}
+	copy(cp.removed, r.removed)
+	return cp
+}
+
+// Reset restores all nodes to alive.
+func (r *Residual) Reset() {
+	for i := range r.removed {
+		r.removed[i] = false
+	}
+	r.alive = r.g.N()
+	r.version++
+}
+
+// Materialize builds a standalone Graph containing only alive nodes, with
+// nodes renumbered densely. It returns the new graph plus old->new and
+// new->old ID mappings. Used by tests and by the exact oracle, where
+// enumeration cost depends on the materialized size.
+func (r *Residual) Materialize() (*Graph, map[NodeID]NodeID, []NodeID) {
+	oldToNew := make(map[NodeID]NodeID, r.alive)
+	newToOld := make([]NodeID, 0, r.alive)
+	for u := int32(0); u < int32(r.g.N()); u++ {
+		if !r.removed[u] {
+			oldToNew[u] = NodeID(len(newToOld))
+			newToOld = append(newToOld, u)
+		}
+	}
+	b := NewBuilder(r.alive, r.g.Directed())
+	for _, oldU := range newToOld {
+		adj, ps := r.g.OutNeighbors(oldU)
+		for i, oldV := range adj {
+			if newV, ok := oldToNew[oldV]; ok {
+				// Endpoints alive by construction; errors impossible here.
+				_ = b.AddEdge(oldToNew[oldU], newV, ps[i])
+			}
+		}
+	}
+	return b.Build(), oldToNew, newToOld
+}

@@ -1,0 +1,165 @@
+// Package imm implements the IMM influence-maximization algorithm of
+// Tang, Shi and Xiao (SIGMOD 2015), which the paper uses ("one of the
+// state of the arts [28]") to pick the top-k influential users as the
+// target seed set T.
+//
+// IMM runs in two phases. The sampling phase searches exponentially
+// decreasing guesses x = n/2^i of OPT_k; for each guess it draws enough RR
+// sets that a greedy max-coverage solution exceeding the threshold
+// certifies a lower bound LB on OPT_k with high probability. The node
+// selection phase then draws θ(LB) RR sets and greedily picks k nodes,
+// giving a (1 − 1/e − ε)-approximation with probability 1 − 1/n^ℓ.
+package imm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/ris"
+	"repro/internal/rng"
+)
+
+// Options configures IMM.
+type Options struct {
+	Eps   float64 // approximation slack ε; default 0.5 (coarse, fast)
+	Ell   float64 // failure exponent ℓ (success prob 1 − 1/n^ℓ); default 1
+	Model cascade.Model
+	Seed  uint64
+	// Workers for parallel RR generation; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o *Options) setDefaults() {
+	if o.Eps <= 0 {
+		o.Eps = 0.5
+	}
+	if o.Ell <= 0 {
+		o.Ell = 1
+	}
+}
+
+// Result carries the selected seeds and diagnostics.
+type Result struct {
+	Seeds       []graph.NodeID
+	SpreadLower float64 // certified lower bound on E[I(Seeds)] (n·cov/θ based)
+	Theta       int     // RR sets used in the selection phase
+	TotalRR     int64   // RR sets drawn across both phases
+}
+
+// Select returns the (approximately) most influential k nodes of g.
+func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
+	opts.setDefaults()
+	n := g.N()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("imm: k=%d out of range (n=%d)", k, n)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("imm: empty graph")
+	}
+	nf := float64(n)
+	eps, ell := opts.Eps, opts.Ell
+	// Boost ℓ so the union bound over the sampling phase holds
+	// (ℓ' = ℓ·(1 + log 2 / log n) in the paper).
+	if n > 1 {
+		ell = ell * (1 + math.Ln2/math.Log(nf))
+	}
+	logChooseNK := logChoose(n, k)
+
+	r := rng.New(opts.Seed)
+	res := graph.NewResidual(g)
+	var totalRR int64
+
+	// Sampling phase: find LB.
+	epsPrime := math.Sqrt2 * eps
+	lambdaPrime := (2 + 2*epsPrime/3) * (logChooseNK + ell*math.Log(nf) + math.Log(math.Log2(math.Max(nf, 2)))) * nf / (epsPrime * epsPrime)
+	lb := 1.0
+	var collection *ris.Collection
+	maxI := int(math.Ceil(math.Log2(nf))) - 1
+	if maxI < 1 {
+		maxI = 1
+	}
+	for i := 1; i <= maxI; i++ {
+		x := nf / math.Exp2(float64(i))
+		thetaI := int(math.Ceil(lambdaPrime / x))
+		collection = ris.GenerateParallel(res, opts.Model, r.Split(), thetaI, opts.Workers)
+		totalRR += int64(collection.Len())
+		all := allNodes(n)
+		seeds, cum := collection.GreedyMaxCoverage(all, k)
+		if len(seeds) == 0 {
+			break
+		}
+		frac := float64(cum[len(cum)-1]) / float64(collection.Len())
+		if nf*frac >= (1+epsPrime)*x {
+			lb = nf * frac / (1 + epsPrime)
+			break
+		}
+	}
+
+	// Selection phase.
+	alpha := math.Sqrt(ell*math.Log(nf) + math.Ln2)
+	beta := math.Sqrt((1 - 1/math.E) * (logChooseNK + ell*math.Log(nf) + math.Ln2))
+	lambdaStar := 2 * nf * sq((1-1/math.E)*alpha+beta) / (eps * eps)
+	theta := int(math.Ceil(lambdaStar / lb))
+	if theta < 1 {
+		theta = 1
+	}
+	collection = ris.GenerateParallel(res, opts.Model, r.Split(), theta, opts.Workers)
+	totalRR += int64(collection.Len())
+	seeds, cum := collection.GreedyMaxCoverage(allNodes(n), k)
+	spread := 0.0
+	if len(cum) > 0 {
+		spread = nf * float64(cum[len(cum)-1]) / float64(collection.Len())
+	}
+	return &Result{
+		Seeds:       seeds,
+		SpreadLower: spread / (1 + eps),
+		Theta:       theta,
+		TotalRR:     totalRR,
+	}, nil
+}
+
+// SpreadLowerBound estimates a high-probability lower bound of E[I(S)] on
+// g by drawing theta RR sets and subtracting the Hoeffding half-width at
+// confidence 1−delta. The paper's cost calibration uses such a bound as
+// E_l[I(T)] so that c(T) = E_l[I(T)] keeps ρ(T) ≥ 0.
+func SpreadLowerBound(g *graph.Graph, model cascade.Model, s []graph.NodeID, theta int, delta float64, seed uint64, workers int) float64 {
+	if theta <= 0 {
+		panic("imm: theta must be positive")
+	}
+	res := graph.NewResidual(g)
+	c := ris.GenerateParallel(res, model, rng.New(seed), theta, workers)
+	if c.Len() == 0 {
+		return 0
+	}
+	frac := float64(c.Cov(s)) / float64(c.Len())
+	half := math.Sqrt(math.Log(1/delta) / (2 * float64(c.Len())))
+	lower := (frac - half) * float64(g.N())
+	if lower < 0 {
+		lower = 0
+	}
+	return lower
+}
+
+func allNodes(n int) []graph.NodeID {
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(i)
+	}
+	return out
+}
+
+// logChoose returns ln C(n, k) via lgamma.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}
+
+func sq(x float64) float64 { return x * x }

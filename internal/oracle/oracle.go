@@ -1,0 +1,167 @@
+// Package oracle provides the spread oracles of the paper's oracle model
+// (§III-B), where E[I_G(S)] is assumed accessible in O(1).
+//
+// Three implementations:
+//
+//   - Exact: enumerates all 2^m realizations. Exponential; for the tiny
+//     graphs in tests and worked examples (m ≤ ~20) it is the ground truth
+//     everything else is validated against.
+//   - MonteCarlo: averages forward simulations; an (ε,δ)-approximate stand-in
+//     for the oracle on larger graphs, with memoization keyed on the
+//     residual version and seed set.
+//   - RIS: estimates through a fixed RR-set collection; cheapest, used by
+//     ADG when configured for larger graphs.
+//
+// All oracles answer on residual views so ADG can query E[I_{G_i}(·)].
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/ris"
+	"repro/internal/rng"
+)
+
+// Oracle answers expected-spread queries on a residual view.
+type Oracle interface {
+	// ExpectedSpread returns (an estimate of) E[I_{G_i}(S)] where G_i is
+	// the residual view res and dead seeds contribute nothing.
+	ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64
+}
+
+// Exact enumerates every realization of the underlying graph. Cost is
+// O(2^m · (n+m)); the constructor refuses graphs beyond maxEdges.
+type Exact struct {
+	g     *graph.Graph
+	edges []graph.Edge
+}
+
+// MaxExactEdges bounds the edge count Exact accepts (2^20 worlds).
+const MaxExactEdges = 20
+
+// NewExact builds an exact oracle for g.
+func NewExact(g *graph.Graph) (*Exact, error) {
+	if g.M() > MaxExactEdges {
+		return nil, fmt.Errorf("oracle: exact enumeration infeasible for m=%d > %d", g.M(), MaxExactEdges)
+	}
+	return &Exact{g: g, edges: g.Edges()}, nil
+}
+
+// ExpectedSpread enumerates all live-edge subsets, weighting each world by
+// its probability.
+func (o *Exact) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 {
+	if res.Graph() != o.g {
+		panic("oracle: residual belongs to a different graph")
+	}
+	m := len(o.edges)
+	total := 0.0
+	live := make([]graph.Edge, 0, m)
+	for mask := 0; mask < 1<<m; mask++ {
+		p := 1.0
+		live = live[:0]
+		for i, e := range o.edges {
+			if mask&(1<<i) != 0 {
+				p *= e.P
+				live = append(live, e)
+			} else {
+				p *= 1 - e.P
+			}
+		}
+		if p == 0 {
+			continue
+		}
+		rz := cascade.FromLiveEdges(o.g, live)
+		total += p * float64(cascade.SpreadOn(rz, res, seeds))
+	}
+	return total
+}
+
+// MonteCarlo estimates spreads by forward simulation with memoization.
+// Queries with the same (residual version, seed set) hit the cache, which
+// matters because double greedy asks about overlapping sets repeatedly.
+type MonteCarlo struct {
+	model cascade.Model
+	reps  int
+	seed  uint64
+	cache map[string]float64
+}
+
+// NewMonteCarlo builds an MC oracle with the given replication count.
+// The oracle derives an independent RNG stream per query from seed, so
+// answers are deterministic functions of (seed, query).
+func NewMonteCarlo(model cascade.Model, reps int, seed uint64) *MonteCarlo {
+	if reps <= 0 {
+		panic("oracle: reps must be positive")
+	}
+	return &MonteCarlo{model: model, reps: reps, seed: seed, cache: make(map[string]float64)}
+}
+
+func cacheKey(version int64, seeds []graph.NodeID) string {
+	s := make([]int, len(seeds))
+	for i, u := range seeds {
+		s[i] = int(u)
+	}
+	sort.Ints(s)
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d:", version)
+	for _, u := range s {
+		fmt.Fprintf(&b, "%d,", u)
+	}
+	return b.String()
+}
+
+// ExpectedSpread estimates E[I_{G_i}(S)] with o.reps simulations.
+func (o *MonteCarlo) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 {
+	key := cacheKey(res.Version(), seeds)
+	if v, ok := o.cache[key]; ok {
+		return v
+	}
+	// Derive a per-query stream: deterministic, but independent across
+	// distinct queries.
+	h := o.seed
+	for _, c := range key {
+		h = h*1099511628211 + uint64(c)
+	}
+	v := cascade.MonteCarloSpreadOn(res, o.model, seeds, o.reps, rng.New(h))
+	o.cache[key] = v
+	return v
+}
+
+// RIS estimates spreads from a fresh RR-set collection per residual
+// version. theta controls the sample size.
+type RIS struct {
+	model cascade.Model
+	theta int
+	r     *rng.RNG
+
+	cachedVersion int64
+	cached        *ris.Collection
+	cachedAlive   int
+}
+
+// NewRIS builds an RIS-backed oracle drawing theta RR sets per residual
+// version.
+func NewRIS(model cascade.Model, theta int, r *rng.RNG) *RIS {
+	if theta <= 0 {
+		panic("oracle: theta must be positive")
+	}
+	return &RIS{model: model, theta: theta, r: r, cachedVersion: -1}
+}
+
+// ExpectedSpread estimates E[I_{G_i}(S)] = n_i · CovR(S)/θ.
+func (o *RIS) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 {
+	if o.cachedVersion != res.Version() {
+		s := ris.NewSampler(res, o.model, o.r.Split())
+		o.cached = s.Generate(o.theta)
+		o.cachedVersion = res.Version()
+		o.cachedAlive = res.N()
+	}
+	if o.cached.Len() == 0 {
+		return 0
+	}
+	return ris.EstimateSpread(o.cached.Cov(seeds), o.cached.Len(), o.cachedAlive)
+}

@@ -1,0 +1,177 @@
+package ris
+
+import (
+	"repro/internal/graph"
+)
+
+// Collection is a set of RR sets with an inverted index from node to the
+// RR sets containing it, supporting the coverage queries of the paper:
+// CovR(S), marginal coverage CovR(u|S), and greedy max-coverage selection.
+type Collection struct {
+	n     int
+	sets  []*RRSet
+	index [][]int32 // node -> indices of RR sets containing it
+}
+
+// NewCollection creates an empty collection over a graph with n nodes
+// (full node count; residual sampling still uses original IDs).
+func NewCollection(n int) *Collection {
+	return &Collection{n: n, index: make([][]int32, n)}
+}
+
+// Add appends one RR set and indexes its nodes.
+func (c *Collection) Add(rr *RRSet) {
+	id := int32(len(c.sets))
+	c.sets = append(c.sets, rr)
+	for _, u := range rr.Nodes {
+		c.index[u] = append(c.index[u], id)
+	}
+}
+
+// Len returns the number of RR sets (the paper's θ).
+func (c *Collection) Len() int { return len(c.sets) }
+
+// Sets returns the underlying RR sets; read-only.
+func (c *Collection) Sets() []*RRSet { return c.sets }
+
+// SetsContaining returns the indices of RR sets that contain u.
+func (c *Collection) SetsContaining(u graph.NodeID) []int32 { return c.index[u] }
+
+// Cov returns CovR(S): the number of RR sets intersecting S.
+func (c *Collection) Cov(s []graph.NodeID) int {
+	covered := make([]bool, len(c.sets))
+	count := 0
+	for _, u := range s {
+		for _, id := range c.index[u] {
+			if !covered[id] {
+				covered[id] = true
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Marks is a reusable coverage bitmap for incremental queries: mark the
+// RR sets covered by a base set once, then ask marginal coverages of many
+// candidate nodes in O(|index[u]|) each.
+type Marks struct {
+	c       *Collection
+	covered []bool
+	count   int
+}
+
+// NewMarks creates an empty mark state over c.
+func (c *Collection) NewMarks() *Marks {
+	return &Marks{c: c, covered: make([]bool, len(c.sets))}
+}
+
+// Count returns the number of currently covered RR sets.
+func (m *Marks) Count() int { return m.count }
+
+// Cover marks every RR set containing u and returns the number of newly
+// covered sets (the marginal coverage of u at the time of the call).
+func (m *Marks) Cover(u graph.NodeID) int {
+	gained := 0
+	for _, id := range m.c.index[u] {
+		if !m.covered[id] {
+			m.covered[id] = true
+			m.count++
+			gained++
+		}
+	}
+	return gained
+}
+
+// CoverAll marks the RR sets covered by each node of s.
+func (m *Marks) CoverAll(s []graph.NodeID) {
+	for _, u := range s {
+		m.Cover(u)
+	}
+}
+
+// Marginal returns CovR(u | marked): the number of RR sets containing u
+// that are not yet covered, without mutating the state.
+func (m *Marks) Marginal(u graph.NodeID) int {
+	gained := 0
+	for _, id := range m.c.index[u] {
+		if !m.covered[id] {
+			gained++
+		}
+	}
+	return gained
+}
+
+// MarginalCoverage returns CovR(u | S) = Cov(S ∪ {u}) − Cov(S) by building
+// a fresh mark state. Convenience for one-shot queries; loops should use
+// Marks directly.
+func (c *Collection) MarginalCoverage(u graph.NodeID, s []graph.NodeID) int {
+	m := c.NewMarks()
+	m.CoverAll(s)
+	return m.Marginal(u)
+}
+
+// EstimateSpread converts a coverage count into a spread estimate on a
+// graph (or residual) with nAlive nodes: nAlive * cov / θ.
+func EstimateSpread(cov, theta, nAlive int) float64 {
+	if theta == 0 {
+		return 0
+	}
+	return float64(nAlive) * float64(cov) / float64(theta)
+}
+
+// GreedyMaxCoverage selects up to k nodes from candidates maximizing
+// coverage, the standard RIS selection step (used by IMM and NSG). It
+// returns the chosen nodes in selection order and their cumulative
+// coverage after each pick. Uses lazy evaluation (CELF) over an implicit
+// upper bound: marginals only decrease, so a stale best is re-evaluated
+// before acceptance.
+func (c *Collection) GreedyMaxCoverage(candidates []graph.NodeID, k int) ([]graph.NodeID, []int) {
+	type entry struct {
+		node graph.NodeID
+		gain int
+	}
+	// Simple lazy-greedy; candidate counts here are small (target sets),
+	// so O(k·|C|) re-scans are fine and avoid heap bookkeeping. Ties break
+	// on node ID so selection is deterministic despite map iteration.
+	m := c.NewMarks()
+	gains := make(map[graph.NodeID]entry, len(candidates))
+	for _, u := range candidates {
+		gains[u] = entry{node: u, gain: len(c.index[u])}
+	}
+	var chosen []graph.NodeID
+	var cum []int
+	for len(chosen) < k && len(gains) > 0 {
+		// Find the candidate with the largest (possibly stale) gain, then
+		// refresh it; accept when fresh.
+		for {
+			var best entry
+			first := true
+			for _, e := range gains {
+				if first || e.gain > best.gain ||
+					(e.gain == best.gain && e.node < best.node) {
+					best = e
+					first = false
+				}
+			}
+			if first {
+				return chosen, cum
+			}
+			fresh := m.Marginal(best.node)
+			if fresh == best.gain {
+				if fresh == 0 {
+					// Nothing adds coverage; stop early.
+					return chosen, cum
+				}
+				m.Cover(best.node)
+				chosen = append(chosen, best.node)
+				cum = append(cum, m.Count())
+				delete(gains, best.node)
+				break
+			}
+			best.gain = fresh
+			gains[best.node] = best
+		}
+	}
+	return chosen, cum
+}

@@ -1,0 +1,69 @@
+package ris
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// GenerateParallel draws theta RR sets using up to workers goroutines and
+// merges them into one Collection. Each worker owns a Split() substream of
+// parent, so the union of generated sets is a deterministic function of
+// (parent state, theta, workers) regardless of scheduling; the merge order
+// is by worker index, keeping the collection layout reproducible too.
+//
+// workers <= 0 means GOMAXPROCS. The residual view is shared read-only;
+// callers must not mutate it during generation.
+func GenerateParallel(res *graph.Residual, model cascade.Model, parent *rng.RNG, theta, workers int) *Collection {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > theta {
+		workers = theta
+	}
+	if workers <= 1 {
+		s := NewSampler(res, model, parent.Split())
+		return s.Generate(theta)
+	}
+	// Deterministic per-worker quotas and streams.
+	quota := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		quota[i] = theta / workers
+	}
+	for i := 0; i < theta%workers; i++ {
+		quota[i]++
+	}
+	streams := make([]*rng.RNG, workers)
+	for i := range streams {
+		streams[i] = parent.Split()
+	}
+	results := make([][]*RRSet, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := NewSampler(res, model, streams[w])
+			sets := make([]*RRSet, 0, quota[w])
+			for i := 0; i < quota[w]; i++ {
+				rr := s.Draw()
+				if rr == nil {
+					break
+				}
+				sets = append(sets, rr)
+			}
+			results[w] = sets
+		}(w)
+	}
+	wg.Wait()
+	c := NewCollection(res.FullN())
+	for _, sets := range results {
+		for _, rr := range sets {
+			c.Add(rr)
+		}
+	}
+	return c
+}

@@ -1,0 +1,138 @@
+// Package ris implements Reverse Influence Sampling (Borgs et al., SODA
+// 2014): random reverse-reachable (RR) sets, the estimation backbone of
+// ADDATP, HATP and the nonadaptive baselines.
+//
+// An RR set R(v) for a uniformly random root v contains every node u that
+// reaches v in a random realization. The fundamental identity
+//
+//	E[I(S)] = n * Pr[R ∩ S ≠ ∅]
+//
+// turns coverage counting over a sample of RR sets into an unbiased spread
+// estimator. On residual graphs, roots are drawn uniformly from the n_i
+// alive nodes and reverse traversal ignores dead nodes, estimating
+// E[I_{G_i}(S)] with the same identity scaled by n_i.
+package ris
+
+import (
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// RRSet is one reverse-reachable set: the nodes that reach Root under one
+// sampled realization, Root included.
+type RRSet struct {
+	Root  graph.NodeID
+	Nodes []graph.NodeID
+}
+
+// Sampler generates RR sets on a (residual view of a) graph.
+// A Sampler is not safe for concurrent use; create one per goroutine with
+// independent RNG streams (see GenerateParallel).
+type Sampler struct {
+	res   *graph.Residual
+	model cascade.Model
+	r     *rng.RNG
+
+	// Scratch buffers reused across draws to avoid per-RR-set allocation.
+	visited []bool
+	stack   []graph.NodeID
+	touched []graph.NodeID
+
+	// aliveList caches the alive node IDs for uniform root sampling; it is
+	// rebuilt when the residual's version changes.
+	aliveList    []graph.NodeID
+	aliveVersion int64
+}
+
+// NewSampler creates a sampler over res under the given model.
+func NewSampler(res *graph.Residual, model cascade.Model, r *rng.RNG) *Sampler {
+	n := res.FullN()
+	return &Sampler{
+		res:          res,
+		model:        model,
+		r:            r,
+		visited:      make([]bool, n),
+		aliveVersion: -1,
+	}
+}
+
+// refreshAlive rebuilds the alive-node list if the residual changed.
+func (s *Sampler) refreshAlive() {
+	if s.aliveVersion == s.res.Version() {
+		return
+	}
+	s.aliveList = s.res.AliveNodes()
+	s.aliveVersion = s.res.Version()
+}
+
+// Draw samples one RR set. It returns nil if no node is alive.
+//
+// Under IC, each in-edge (u,v) is traversed (reverse direction) with its
+// probability, coins drawn lazily — equivalent to sampling a realization
+// and collecting the nodes that reach the root, but only exploring the
+// reverse cone. Under LT, each visited node picks at most one in-parent.
+func (s *Sampler) Draw() *RRSet {
+	s.refreshAlive()
+	if len(s.aliveList) == 0 {
+		return nil
+	}
+	root := s.aliveList[s.r.Intn(len(s.aliveList))]
+	set := &RRSet{Root: root}
+	s.stack = s.stack[:0]
+	s.touched = s.touched[:0]
+
+	push := func(u graph.NodeID) {
+		if s.visited[u] || !s.res.Alive(u) {
+			return
+		}
+		s.visited[u] = true
+		s.touched = append(s.touched, u)
+		s.stack = append(s.stack, u)
+	}
+	push(root)
+	g := s.res.Graph()
+	for len(s.stack) > 0 {
+		v := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		srcs, ps := g.InNeighbors(v)
+		switch s.model {
+		case cascade.IC:
+			for i, u := range srcs {
+				if s.r.Coin(ps[i]) {
+					push(u)
+				}
+			}
+		case cascade.LT:
+			x := s.r.Float64()
+			acc := 0.0
+			for i, u := range srcs {
+				acc += ps[i]
+				if x < acc {
+					push(u)
+					break
+				}
+			}
+		}
+	}
+	set.Nodes = make([]graph.NodeID, len(s.touched))
+	copy(set.Nodes, s.touched)
+	// Clear scratch for the next draw.
+	for _, u := range s.touched {
+		s.visited[u] = false
+	}
+	return set
+}
+
+// Generate draws theta RR sets into a new Collection.
+func (s *Sampler) Generate(theta int) *Collection {
+	c := NewCollection(s.res.FullN())
+	for i := 0; i < theta; i++ {
+		rr := s.Draw()
+		if rr == nil {
+			break
+		}
+		c.Add(rr)
+	}
+	return c
+}
