@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/adaptive"
+)
+
+// benchOutput is the BENCH_*.json document: the grid definition plus one
+// resultRow per completed cell (failed cells are recorded with an error).
+type benchOutput struct {
+	Datasets     []string     `json:"datasets"`
+	Algos        []string     `json:"algos"`
+	CostSettings []string     `json:"cost_settings"`
+	Model        string       `json:"model"`
+	Scale        float64      `json:"scale"`
+	Seed         uint64       `json:"seed"`
+	WallMS       int64        `json:"wall_ms"`
+	Rows         []*resultRow `json:"rows"`
+	Errors       []string     `json:"errors,omitempty"`
+}
+
+func splitList(s string, all []string) []string {
+	if s == "" || s == "all" {
+		return all
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	datasets := fs.String("datasets", "nethept-s", "comma-separated datasets (or 'all')")
+	algos := fs.String("algos", "all", "comma-separated algorithms (or 'all')")
+	costs := fs.String("costs", "all", "comma-separated cost settings (or 'all')")
+	model := fs.String("model", "ic", "diffusion model: ic or lt")
+	out := fs.String("out", "BENCH_results.json", "output file (BENCH_*.json)")
+	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps := runFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseModel(*model)
+	if err != nil {
+		return err
+	}
+	allDatasets := []string{"nethept-s", "epinions-s", "dblp-s", "livejournal-s"}
+	allCosts := []string{"degree-proportional", "uniform", "random"}
+	grid := benchOutput{
+		Datasets:     splitList(*datasets, allDatasets),
+		Algos:        splitList(*algos, adaptive.Algorithms),
+		CostSettings: splitList(*costs, allCosts),
+		Model:        m.String(),
+		Scale:        *scale,
+		Seed:         *seed,
+	}
+	for _, algo := range grid.Algos {
+		if err := validateAlgo(algo); err != nil {
+			return err
+		}
+	}
+	start := time.Now()
+	for _, ds := range grid.Datasets {
+		for _, costName := range grid.CostSettings {
+			cs, err := parseCostSetting(costName)
+			if err != nil {
+				return err
+			}
+			cfg := runConfig{
+				dataset: ds, scale: *scale, model: m, costSetting: cs,
+				k: *k, reps: *reps, seed: *seed, zeta: *zeta, eps: *eps, delta: *delta,
+				adgTheta: *adgTheta, nsgTheta: *nsgTheta, workers: *workers, immEps: *immEps,
+			}
+			// The prepared instance (graph + IMM targets + calibrated costs)
+			// is algorithm-independent; build it once per (dataset, cost).
+			fmt.Fprintf(os.Stderr, "bench: preparing %s/%s...\n", ds, costName)
+			p, err := prepare(cfg)
+			if err != nil {
+				grid.Errors = append(grid.Errors, fmt.Sprintf("%s/%s: %v", ds, costName, err))
+				continue
+			}
+			for _, algo := range grid.Algos {
+				cell := fmt.Sprintf("%s/%s/%s", ds, costName, algo)
+				fmt.Fprintf(os.Stderr, "bench: %s...\n", cell)
+				cfg.algo = algo
+				row, err := execute(cfg, p)
+				if err != nil {
+					grid.Errors = append(grid.Errors, fmt.Sprintf("%s: %v", cell, err))
+					continue
+				}
+				warnShortfall(row)
+				grid.Rows = append(grid.Rows, row)
+			}
+		}
+	}
+	grid.WallMS = time.Since(start).Milliseconds()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(grid); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d rows (%d errors) to %s in %dms\n",
+		len(grid.Rows), len(grid.Errors), *out, grid.WallMS)
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// genRow is the JSON emitted by `repro gen`.
+type genRow struct {
+	Dataset   string  `json:"dataset"`
+	Scale     float64 `json:"scale"`
+	PaperN    int     `json:"paper_n"`
+	PaperM    int64   `json:"paper_m"`
+	N         int     `json:"n"`
+	M         int64   `json:"m"`
+	Type      string  `json:"type"`
+	AvgDegree float64 `json:"avg_degree"`
+	MaxOutDeg int     `json:"max_out_deg"`
+	Isolated  int     `json:"isolated"`
+	Out       string  `json:"out,omitempty"`
+	WallMS    int64   `json:"wall_ms"`
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "nethept-s", "Table II stand-in dataset name")
+	scale := fs.Float64("scale", 0.1, "node-count scale factor (1 = paper size)")
+	out := fs.String("out", "", "optional path for the edge-list file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	g, spec, err := buildDataset(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := graph.Write(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	stats := graph.ComputeStats(g)
+	row := genRow{
+		Dataset:   spec.Name,
+		Scale:     *scale,
+		PaperN:    spec.PaperN,
+		PaperM:    spec.PaperM,
+		N:         stats.N,
+		M:         stats.M,
+		Type:      stats.Type,
+		AvgDegree: stats.AvgDegree,
+		MaxOutDeg: stats.MaxOutDeg,
+		Isolated:  stats.Isolated,
+		Out:       *out,
+		WallMS:    time.Since(start).Milliseconds(),
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(row); err != nil {
+		return fmt.Errorf("encoding stats: %w", err)
+	}
+	return nil
+}

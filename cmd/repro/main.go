@@ -1,0 +1,109 @@
+// Command repro is the experiment driver for the conf_icde_Huang0XSL20
+// reproduction: it materializes the Table II stand-in datasets, runs one
+// adaptive/nonadaptive profit algorithm on one configuration, or sweeps a
+// benchmark grid — emitting machine-readable JSON rows throughout.
+//
+// Subcommands:
+//
+//	repro gen   --dataset nethept-s [--scale 0.1] [--out g.txt]
+//	repro run   --algo addatp --dataset nethept-s --model ic --cost degree-proportional
+//	repro bench [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/adaptive"
+	"repro/internal/cascade"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: repro <subcommand> [flags]
+
+subcommands:
+  gen    materialize a Table II stand-in dataset (stats to stdout, graph to --out)
+  run    execute one algorithm on one dataset/model/cost configuration
+  bench  sweep algorithms x datasets x cost settings into a BENCH_*.json
+
+run 'repro <subcommand> -h' for flags.
+`)
+}
+
+// buildDataset materializes a stand-in graph at the given scale.
+func buildDataset(name string, scale float64) (*graph.Graph, gen.DatasetSpec, error) {
+	spec, err := gen.Lookup(name)
+	if err != nil {
+		return nil, spec, err
+	}
+	g, err := gen.Generate(spec.Config(scale))
+	if err != nil {
+		return nil, spec, err
+	}
+	return g, spec, nil
+}
+
+// validateAlgo rejects unknown algorithm names before any expensive
+// dataset/instance preparation happens.
+func validateAlgo(name string) error {
+	for _, a := range adaptive.Algorithms {
+		if a == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown algorithm %q (have %v)", name, adaptive.Algorithms)
+}
+
+func parseModel(s string) (cascade.Model, error) {
+	switch strings.ToLower(s) {
+	case "ic":
+		return cascade.IC, nil
+	case "lt":
+		return cascade.LT, nil
+	default:
+		return 0, fmt.Errorf("unknown diffusion model %q (have ic, lt)", s)
+	}
+}
+
+func parseCostSetting(s string) (cost.Setting, error) {
+	switch strings.ToLower(s) {
+	case "degree-proportional", "degree":
+		return cost.DegreeProportional, nil
+	case "uniform":
+		return cost.Uniform, nil
+	case "random":
+		return cost.Random, nil
+	default:
+		return 0, fmt.Errorf("unknown cost setting %q (have degree-proportional, uniform, random)", s)
+	}
+}

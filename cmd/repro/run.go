@@ -1,0 +1,221 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/cascade"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+)
+
+// runConfig is one fully resolved experiment configuration.
+type runConfig struct {
+	algo        string
+	dataset     string
+	scale       float64
+	model       cascade.Model
+	costSetting cost.Setting
+	k           int
+	reps        int
+	seed        uint64
+	zeta        float64
+	eps         float64
+	delta       float64
+	adgTheta    int
+	nsgTheta    int
+	workers     int
+	immEps      float64
+}
+
+// runFlags registers the flags shared by `run` and `bench`.
+func runFlags(fs *flag.FlagSet) (k, reps, adgTheta, nsgTheta, workers *int, seed *uint64, scale, zeta, eps, delta, immEps *float64) {
+	k = fs.Int("k", 50, "target set size |T| picked by IMM")
+	reps = fs.Int("reps", 3, "realizations to average over")
+	adgTheta = fs.Int("adg-theta", 10_000, "RR sets per residual version for ADG's RIS oracle")
+	nsgTheta = fs.Int("nsg-theta", 20_000, "RR sets for the nonadaptive greedy baseline")
+	workers = fs.Int("workers", 0, "parallel RR workers (0 = GOMAXPROCS)")
+	seed = fs.Uint64("seed", 1, "root seed (runs are deterministic given it)")
+	scale = fs.Float64("scale", 0.1, "dataset scale factor (1 = paper size)")
+	zeta = fs.Float64("zeta", 0.05, "additive error ζ for ADDATP/HATP")
+	eps = fs.Float64("eps", 0.2, "relative error ε for HATP")
+	delta = fs.Float64("delta", 0.1, "failure probability δ for ADDATP/HATP")
+	immEps = fs.Float64("imm-eps", 0.5, "IMM approximation slack for target selection")
+	return
+}
+
+// resultRow is the JSON emitted by `repro run` and collected by `bench`.
+type resultRow struct {
+	Algo        string  `json:"algo"`
+	Dataset     string  `json:"dataset"`
+	Scale       float64 `json:"scale"`
+	Model       string  `json:"model"`
+	CostSetting string  `json:"cost_setting"`
+	N           int     `json:"n"`
+	M           int64   `json:"m"`
+	K           int     `json:"k"`
+	Targets     int     `json:"targets"`
+	Budget      float64 `json:"budget"`
+
+	Realizations int     `json:"realizations"`
+	AvgProfit    float64 `json:"profit"`
+	AvgSpread    float64 `json:"spread"`
+	AvgCost      float64 `json:"cost"`
+	AvgRounds    float64 `json:"rounds"`
+	MinProfit    float64 `json:"min_profit"`
+	MaxProfit    float64 `json:"max_profit"`
+
+	RRDrawn     int64 `json:"rr_drawn"`
+	RRRequested int64 `json:"rr_requested"`
+	Fallbacks   int   `json:"fallbacks"`
+
+	ImmTheta          int   `json:"imm_theta"`
+	ImmThetaRequested int   `json:"imm_theta_requested"`
+	ImmTotalRR        int64 `json:"imm_total_rr"`
+
+	Seed    uint64 `json:"seed"`
+	SetupMS int64  `json:"setup_ms"` // dataset gen + IMM + cost calibration (shared across a bench row group)
+	WallMS  int64  `json:"wall_ms"`  // algorithm execution only
+}
+
+// preparedInstance is the algorithm-independent part of a configuration:
+// the materialized graph plus IMM targets and calibrated costs. bench
+// prepares once per (dataset, cost setting) and reuses it for every
+// algorithm.
+type preparedInstance struct {
+	g       *graph.Graph
+	spec    gen.DatasetSpec
+	inst    *adaptive.Instance
+	immRes  *imm.Result
+	setupMS int64
+}
+
+// prepare materializes the dataset and builds the experiment instance
+// (IMM targets + spread-calibrated costs).
+func prepare(cfg runConfig) (*preparedInstance, error) {
+	start := time.Now()
+	g, spec, err := buildDataset(cfg.dataset, cfg.scale)
+	if err != nil {
+		return nil, err
+	}
+	inst, immRes, err := adaptive.Prepare(g, cfg.model, adaptive.Setup{
+		K:           cfg.k,
+		CostSetting: cfg.costSetting,
+		ImmEps:      cfg.immEps,
+		Seed:        cfg.seed,
+		Workers:     cfg.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &preparedInstance{
+		g: g, spec: spec, inst: inst, immRes: immRes,
+		setupMS: time.Since(start).Milliseconds(),
+	}, nil
+}
+
+// execute runs the configured algorithm over cfg.reps realizations of a
+// prepared instance.
+func execute(cfg runConfig, p *preparedInstance) (*resultRow, error) {
+	start := time.Now()
+	opts := adaptive.RunOptions{
+		Sampling: adaptive.SamplingOptions{
+			Zeta:    cfg.zeta,
+			Eps:     cfg.eps,
+			Delta:   cfg.delta,
+			Workers: cfg.workers,
+		},
+		ADGTheta: cfg.adgTheta,
+		NSGTheta: cfg.nsgTheta,
+	}
+	rep, err := adaptive.RunExperiment(p.inst, cfg.algo, cfg.reps, opts, cfg.seed+100)
+	if err != nil {
+		return nil, err
+	}
+	g, spec, inst, immRes := p.g, p.spec, p.inst, p.immRes
+	return &resultRow{
+		Algo:              cfg.algo,
+		Dataset:           spec.Name,
+		Scale:             cfg.scale,
+		Model:             cfg.model.String(),
+		CostSetting:       cfg.costSetting.String(),
+		N:                 g.N(),
+		M:                 g.M(),
+		K:                 cfg.k,
+		Targets:           len(inst.Targets),
+		Budget:            inst.Costs.Total(inst.Targets),
+		Realizations:      rep.Realizations,
+		AvgProfit:         rep.AvgProfit,
+		AvgSpread:         rep.AvgSpread,
+		AvgCost:           rep.AvgCost,
+		AvgRounds:         rep.AvgRounds,
+		MinProfit:         rep.MinProfit,
+		MaxProfit:         rep.MaxProfit,
+		RRDrawn:           rep.RRDrawn,
+		RRRequested:       rep.RRRequested,
+		Fallbacks:         rep.Fallbacks,
+		ImmTheta:          immRes.Theta,
+		ImmThetaRequested: immRes.ThetaRequested,
+		ImmTotalRR:        immRes.TotalRR,
+		Seed:              cfg.seed,
+		SetupMS:           p.setupMS,
+		WallMS:            time.Since(start).Milliseconds(),
+	}, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	algo := fs.String("algo", adaptive.AlgoADDATP, fmt.Sprintf("algorithm: %v", adaptive.Algorithms))
+	dataset := fs.String("dataset", "nethept-s", "Table II stand-in dataset name")
+	model := fs.String("model", "ic", "diffusion model: ic or lt")
+	costName := fs.String("cost", "degree-proportional", "cost setting: degree-proportional, uniform, random")
+	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps := runFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := parseModel(*model)
+	if err != nil {
+		return err
+	}
+	cs, err := parseCostSetting(*costName)
+	if err != nil {
+		return err
+	}
+	if err := validateAlgo(*algo); err != nil {
+		return err
+	}
+	cfg := runConfig{
+		algo: *algo, dataset: *dataset, scale: *scale, model: m, costSetting: cs,
+		k: *k, reps: *reps, seed: *seed, zeta: *zeta, eps: *eps, delta: *delta,
+		adgTheta: *adgTheta, nsgTheta: *nsgTheta, workers: *workers, immEps: *immEps,
+	}
+	p, err := prepare(cfg)
+	if err != nil {
+		return err
+	}
+	row, err := execute(cfg, p)
+	if err != nil {
+		return err
+	}
+	warnShortfall(row)
+	return json.NewEncoder(os.Stdout).Encode(row)
+}
+
+// warnShortfall surfaces RR-set generation shortfalls on stderr so a
+// weakened guarantee never passes silently.
+func warnShortfall(row *resultRow) {
+	if row.ImmTheta < row.ImmThetaRequested {
+		fmt.Fprintf(os.Stderr, "repro: warning: IMM selection used %d/%d requested RR sets; guarantee weakened\n",
+			row.ImmTheta, row.ImmThetaRequested)
+	}
+	if row.RRDrawn < row.RRRequested {
+		fmt.Fprintf(os.Stderr, "repro: warning: %s drew %d/%d requested RR sets\n",
+			row.Algo, row.RRDrawn, row.RRRequested)
+	}
+}

@@ -1,0 +1,140 @@
+// Package adaptive implements the paper's adaptive target profit
+// maximization (ATP) algorithms and the nonadaptive baselines they are
+// compared against.
+//
+// The problem: given a target set T (in the experiments, the top-k
+// influential users picked by IMM) and a seeding cost c(u) per target,
+// select seeds from T one at a time. After each seed the realized cascade
+// is observed, the activated nodes are deleted, and the next decision is
+// made on the residual graph G_i. The objective is the realized profit
+// ρ(S) = I_φ(S) − c(S), which is unconstrained (no cardinality budget):
+// the algorithms stop when no remaining target has positive expected
+// marginal profit.
+//
+// Three policies are provided:
+//
+//   - ADG (adaptive greedy, §III): queries a spread oracle for
+//     E[I_{G_i}({u})] exactly (or via a fixed estimator) and seeds the
+//     best target while its marginal profit is positive.
+//   - ADDATP (Algorithm 3): replaces the oracle with RR-set sampling
+//     whose additive error is controlled by the Hoeffding bound
+//     (bounds.HoeffdingTheta); each round refines ζ until the seeding or
+//     stopping decision is certified.
+//   - HATP (Algorithm 4): the hybrid relative+additive martingale bound
+//     (bounds.HybridTheta) certifies the same decisions with far fewer RR
+//     sets when ζ is small.
+//
+// Nonadaptive baselines: seeding all of T upfront (the classic target-set
+// seeding the worked example compares against) and a nonadaptive greedy
+// that picks a subset of T on RIS estimates before any observation.
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/cascade"
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// Instance is one ATP problem: a weighted graph, a diffusion model, the
+// target set T, and the per-target seeding costs.
+type Instance struct {
+	G       *graph.Graph
+	Model   cascade.Model
+	Targets []graph.NodeID
+	Costs   *cost.Model
+}
+
+// Validate checks the instance is runnable.
+func (inst *Instance) Validate() error {
+	if inst.G == nil {
+		return fmt.Errorf("adaptive: nil graph")
+	}
+	if len(inst.Targets) == 0 {
+		return fmt.Errorf("adaptive: empty target set")
+	}
+	n := graph.NodeID(inst.G.N())
+	for _, u := range inst.Targets {
+		if u < 0 || u >= n {
+			return fmt.Errorf("adaptive: target %d outside [0,%d)", u, n)
+		}
+	}
+	if inst.Costs == nil {
+		return fmt.Errorf("adaptive: nil cost model")
+	}
+	return nil
+}
+
+// Environment reveals one realization φ to an adaptive policy seed by
+// seed: Observe(u) returns the nodes newly activated by seeding u on the
+// current residual graph and deletes them, exactly the paper's feedback
+// model (full-adoption feedback).
+type Environment struct {
+	rz        *cascade.Realization
+	res       *graph.Residual
+	activated int
+}
+
+// NewEnvironment wraps a sampled realization.
+func NewEnvironment(rz *cascade.Realization) *Environment {
+	return &Environment{rz: rz, res: graph.NewResidual(rz.Graph())}
+}
+
+// Residual returns the current residual view G_i. Policies may read it
+// (and sample RR sets on it) but must mutate it only through Observe.
+func (e *Environment) Residual() *graph.Residual { return e.res }
+
+// Observe seeds u, returns the activated set A(u) on the residual graph
+// (u included if alive), and removes it. Seeding a dead node activates
+// nothing.
+func (e *Environment) Observe(u graph.NodeID) []graph.NodeID {
+	a := cascade.Activated(e.rz, e.res, []graph.NodeID{u})
+	e.res.RemoveAll(a)
+	e.activated += len(a)
+	return a
+}
+
+// Activated returns the total number of nodes activated so far — the
+// realized spread I_φ(S) of everything seeded through this environment.
+func (e *Environment) Activated() int { return e.activated }
+
+// RunResult reports one policy run on one realization.
+type RunResult struct {
+	Algorithm string         `json:"algorithm"`
+	Seeds     []graph.NodeID `json:"seeds"`  // in seeding order
+	Rounds    int            `json:"rounds"` // seeding rounds (== len(Seeds))
+	Spread    int            `json:"spread"` // realized I_φ(S)
+	Cost      float64        `json:"cost"`
+	Profit    float64        `json:"profit"` // Spread − Cost
+
+	// Sampling accounting (zero for oracle-driven ADG; see ADGResult).
+	RRDrawn     int64 `json:"rr_drawn"`
+	RRRequested int64 `json:"rr_requested"`
+	// Fallbacks counts rounds where the refinement budget ran out and the
+	// decision fell back to the point estimate (sampling policies only).
+	Fallbacks int `json:"fallbacks"`
+}
+
+func (inst *Instance) finish(algo string, seeds []graph.NodeID, env *Environment) *RunResult {
+	c := inst.Costs.Total(seeds)
+	return &RunResult{
+		Algorithm: algo,
+		Seeds:     seeds,
+		Rounds:    len(seeds),
+		Spread:    env.Activated(),
+		Cost:      c,
+		Profit:    float64(env.Activated()) - c,
+	}
+}
+
+// aliveTargets filters the targets still alive in res, preserving order.
+func (inst *Instance) aliveTargets(res *graph.Residual, buf []graph.NodeID) []graph.NodeID {
+	buf = buf[:0]
+	for _, u := range inst.Targets {
+		if res.Alive(u) {
+			buf = append(buf, u)
+		}
+	}
+	return buf
+}

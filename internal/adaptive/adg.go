@@ -1,0 +1,53 @@
+package adaptive
+
+import (
+	"repro/internal/graph"
+	"repro/internal/oracle"
+)
+
+// RunADG executes the adaptive greedy policy of §III against a spread
+// oracle: each round it queries E[I_{G_i}({u})] for every alive target u,
+// seeds the one with the largest marginal profit if that profit is
+// positive, observes the realized cascade through env, and recurses on
+// the residual graph. It stops as soon as the best marginal profit is
+// ≤ 0 (the unconstrained objective makes further seeding a loss).
+//
+// With the exact oracle this is the paper's ADG; with oracle.RIS or
+// oracle.MonteCarlo it is the oracle-model policy the sampling algorithms
+// (ADDATP, HATP) approximate. Ties break on the smaller node ID so runs
+// are deterministic.
+func RunADG(inst *Instance, env *Environment, orc oracle.Oracle) (*RunResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	var seeds []graph.NodeID
+	var alive []graph.NodeID
+	query := make([]graph.NodeID, 1)
+	for {
+		res := env.Residual()
+		alive = inst.aliveTargets(res, alive)
+		if len(alive) == 0 {
+			break
+		}
+		best := graph.NodeID(-1)
+		bestProfit := 0.0
+		for _, u := range alive {
+			query[0] = u
+			p := orc.ExpectedSpread(res, query) - inst.Costs.Cost(u)
+			if p > bestProfit || (p == bestProfit && best >= 0 && u < best) {
+				best, bestProfit = u, p
+			}
+		}
+		if best < 0 || bestProfit <= 0 {
+			break
+		}
+		env.Observe(best)
+		seeds = append(seeds, best)
+	}
+	r := inst.finish("adg", seeds, env)
+	if ris, ok := orc.(*oracle.RIS); ok {
+		r.RRDrawn = ris.TotalDrawn()
+		r.RRRequested = ris.TotalRequested()
+	}
+	return r, nil
+}

@@ -1,0 +1,136 @@
+package adaptive
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/cascade"
+	"repro/internal/oracle"
+	"repro/internal/rng"
+)
+
+// Algorithm names accepted by Run and the repro CLI.
+const (
+	AlgoADG        = "adg"
+	AlgoADDATP     = "addatp"
+	AlgoHATP       = "hatp"
+	AlgoNSG        = "nsg"
+	AlgoAllTargets = "all-targets"
+)
+
+// Algorithms lists every runnable policy in CLI order.
+var Algorithms = []string{AlgoADG, AlgoADDATP, AlgoHATP, AlgoNSG, AlgoAllTargets}
+
+// RunOptions bundles the per-algorithm knobs for Run.
+type RunOptions struct {
+	Sampling SamplingOptions
+	// ADGTheta is the RR sample size of ADG's RIS oracle (per residual
+	// version); default 10_000. On graphs small enough for the exact
+	// oracle (m ≤ oracle.MaxExactEdges) ADG uses exact spreads instead.
+	ADGTheta int
+	// NSGTheta is the nonadaptive greedy's one-shot sample size; default
+	// 20_000.
+	NSGTheta int
+}
+
+func (o *RunOptions) setDefaults() {
+	if o.ADGTheta <= 0 {
+		o.ADGTheta = 10_000
+	}
+	if o.NSGTheta <= 0 {
+		o.NSGTheta = 20_000
+	}
+}
+
+// Run executes one named algorithm on one realization environment.
+func Run(inst *Instance, env *Environment, algo string, opts RunOptions, r *rng.RNG) (*RunResult, error) {
+	opts.setDefaults()
+	switch algo {
+	case AlgoADG:
+		var orc oracle.Oracle
+		// The exact oracle enumerates independent per-edge coins, which is
+		// IC semantics only; LT instances must go through the RIS oracle.
+		if inst.Model == cascade.IC {
+			if exact, err := oracle.NewExact(inst.G); err == nil {
+				orc = exact
+			}
+		}
+		if orc == nil {
+			w := opts.Sampling.Workers
+			if w <= 0 { // same convention as GenerateParallel
+				w = runtime.GOMAXPROCS(0)
+			}
+			ris := oracle.NewRIS(inst.Model, opts.ADGTheta, r.Split())
+			ris.SetWorkers(w)
+			orc = ris
+		}
+		return RunADG(inst, env, orc)
+	case AlgoADDATP:
+		return RunADDATP(inst, env, opts.Sampling, r)
+	case AlgoHATP:
+		return RunHATP(inst, env, opts.Sampling, r)
+	case AlgoNSG:
+		return RunNonadaptiveGreedy(inst, env, opts.NSGTheta, r, opts.Sampling.Workers)
+	case AlgoAllTargets:
+		return RunAllTargets(inst, env)
+	default:
+		return nil, fmt.Errorf("adaptive: unknown algorithm %q (have %v)", algo, Algorithms)
+	}
+}
+
+// Report aggregates an algorithm's runs over several realizations of the
+// same instance — the paper's methodology of averaging a fixed pool of
+// realizations per configuration.
+type Report struct {
+	Algorithm    string  `json:"algorithm"`
+	Realizations int     `json:"realizations"`
+	AvgProfit    float64 `json:"avg_profit"`
+	AvgSpread    float64 `json:"avg_spread"`
+	AvgCost      float64 `json:"avg_cost"`
+	AvgRounds    float64 `json:"avg_rounds"`
+	MinProfit    float64 `json:"min_profit"`
+	MaxProfit    float64 `json:"max_profit"`
+	RRDrawn      int64   `json:"rr_drawn"`
+	RRRequested  int64   `json:"rr_requested"`
+	Fallbacks    int     `json:"fallbacks"`
+	Runs         []*RunResult
+}
+
+// RunExperiment samples `realizations` possible worlds from the instance
+// graph (deterministically from seed) and runs the algorithm on each.
+func RunExperiment(inst *Instance, algo string, realizations int, opts RunOptions, seed uint64) (*Report, error) {
+	if realizations <= 0 {
+		return nil, fmt.Errorf("adaptive: need at least one realization")
+	}
+	root := rng.New(seed)
+	rep := &Report{Algorithm: algo, Realizations: realizations}
+	for i := 0; i < realizations; i++ {
+		worldRNG := root.Split()
+		algoRNG := root.Split()
+		env := NewEnvironment(cascade.Sample(inst.G, inst.Model, worldRNG))
+		run, err := Run(inst, env, algo, opts, algoRNG)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: realization %d: %w", i, err)
+		}
+		rep.Runs = append(rep.Runs, run)
+		rep.AvgProfit += run.Profit
+		rep.AvgSpread += float64(run.Spread)
+		rep.AvgCost += run.Cost
+		rep.AvgRounds += float64(run.Rounds)
+		rep.RRDrawn += run.RRDrawn
+		rep.RRRequested += run.RRRequested
+		rep.Fallbacks += run.Fallbacks
+		if i == 0 || run.Profit < rep.MinProfit {
+			rep.MinProfit = run.Profit
+		}
+		if i == 0 || run.Profit > rep.MaxProfit {
+			rep.MaxProfit = run.Profit
+		}
+	}
+	f := float64(realizations)
+	rep.AvgProfit /= f
+	rep.AvgSpread /= f
+	rep.AvgCost /= f
+	rep.AvgRounds /= f
+	return rep, nil
+}

@@ -1,0 +1,159 @@
+package adaptive
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ris"
+	"repro/internal/rng"
+)
+
+// SamplingOptions configures the RR-sampling policies (ADDATP and HATP).
+type SamplingOptions struct {
+	// Zeta is the starting additive error on the coverage fraction (the
+	// paper's ζ; spread error is n_i·ζ). Refinement halves it. Default 0.05.
+	Zeta float64
+	// Eps is HATP's relative error ε (ignored by ADDATP). Default 0.2.
+	Eps float64
+	// Delta is the overall failure probability δ, split over at most |T|
+	// rounds by a union bound. Default 0.1.
+	Delta float64
+	// MaxRefine bounds the ζ-halvings per round; when exhausted the round
+	// decides on the point estimate and records a fallback. Default 4.
+	MaxRefine int
+	// Workers for parallel RR generation; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o *SamplingOptions) setDefaults() {
+	if o.Zeta <= 0 {
+		o.Zeta = 0.05
+	}
+	if o.Eps <= 0 {
+		o.Eps = 0.2
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.1
+	}
+	if o.MaxRefine <= 0 {
+		o.MaxRefine = 4
+	}
+}
+
+// regime abstracts the concentration bound a sampling policy certifies
+// its decisions with: the per-round sample size θ, and high-probability
+// spread bounds derived from an observed coverage fraction.
+type regime interface {
+	name() string
+	theta(zeta, delta float64) (int, error)
+	// lower/upper convert coverage fraction frac on a residual with
+	// nAlive nodes into spread bounds holding with probability ≥ 1−delta
+	// at the θ above. Implementations clamp to [0, nAlive].
+	lower(frac float64, nAlive int, zeta float64) float64
+	upper(frac float64, nAlive int, zeta float64) float64
+}
+
+func clampSpread(v float64, nAlive int) float64 {
+	if v < 0 {
+		return 0
+	}
+	if n := float64(nAlive); v > n {
+		return n
+	}
+	return v
+}
+
+// runSampling is the round structure shared by Algorithms 3 and 4. Each
+// round draws θ(ζ_i, δ_i) RR sets on the residual graph, estimates every
+// alive target's marginal spread as n_i·Cov(u)/θ, and then either
+//
+//   - seeds the best target, when its profit lower bound is positive;
+//   - terminates, when every target's profit upper bound is ≤ 0;
+//   - refines (ζ_i ← ζ_i/2) and resamples, when the decision is not yet
+//     certified — falling back to the point estimate after MaxRefine
+//     halvings so a marginal profit sitting exactly at 0 cannot loop
+//     forever.
+func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOptions, r *rng.RNG) (*RunResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	opts.setDefaults()
+	// Union bound: each round may resample up to MaxRefine+1 times and the
+	// run lasts at most |T| rounds.
+	deltaRound := opts.Delta / float64(len(inst.Targets)*(opts.MaxRefine+1))
+
+	var seeds []graph.NodeID
+	var alive []graph.NodeID
+	fallbacks := 0
+	var drawn, requested int64
+
+	for {
+		res := env.Residual()
+		alive = inst.aliveTargets(res, alive)
+		if len(alive) == 0 {
+			break
+		}
+		nAlive := res.N()
+		zeta := opts.Zeta
+		stop := false
+		for attempt := 0; ; attempt++ {
+			theta, err := reg.theta(zeta, deltaRound)
+			if err != nil {
+				return nil, fmt.Errorf("adaptive: %s round %d: %w", reg.name(), len(seeds)+1, err)
+			}
+			col := ris.GenerateParallel(res, inst.Model, r.Split(), theta, opts.Workers)
+			drawn += int64(col.Len())
+			requested += int64(col.Requested())
+			if col.Len() == 0 {
+				stop = true
+				break
+			}
+			// Per-target marginal profit from single-node coverage counts.
+			best := graph.NodeID(-1)
+			bestProfit, bestFrac := 0.0, 0.0
+			maxUpper := 0.0
+			for _, u := range alive {
+				frac := float64(len(col.SetsContaining(u))) / float64(col.Len())
+				est := clampSpread(frac*float64(nAlive), nAlive)
+				profit := est - inst.Costs.Cost(u)
+				if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
+					best, bestProfit, bestFrac = u, profit, frac
+				}
+				if up := reg.upper(frac, nAlive, zeta) - inst.Costs.Cost(u); up > maxUpper {
+					maxUpper = up
+				}
+			}
+			lowerBest := reg.lower(bestFrac, nAlive, zeta) - inst.Costs.Cost(best)
+			switch {
+			case lowerBest > 0:
+				// Seeding certified.
+				env.Observe(best)
+				seeds = append(seeds, best)
+			case maxUpper <= 0:
+				// Stopping certified: no target can have positive profit.
+				stop = true
+			case attempt >= opts.MaxRefine:
+				// Confidence budget exhausted; decide on the estimate.
+				fallbacks++
+				if bestProfit > 0 {
+					env.Observe(best)
+					seeds = append(seeds, best)
+				} else {
+					stop = true
+				}
+			default:
+				zeta /= 2
+				continue
+			}
+			break
+		}
+		if stop {
+			break
+		}
+	}
+	result := inst.finish(reg.name(), seeds, env)
+	result.RRDrawn = drawn
+	result.RRRequested = requested
+	result.Fallbacks = fallbacks
+	return result, nil
+}

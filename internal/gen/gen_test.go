@@ -134,12 +134,12 @@ func TestPowerLawExponentControl(t *testing.T) {
 
 func TestGenerateErrors(t *testing.T) {
 	cases := []Config{
-		{Model: ErdosRenyi, N: 1, AvgDeg: 2},             // too few nodes
-		{Model: ErdosRenyi, N: 100, AvgDeg: 0},           // no degree
-		{Model: PrefAttach, N: 3, AvgDeg: 10},            // N <= k
-		{Model: SmallWorld, N: 4, AvgDeg: 10},            // k >= N
+		{Model: ErdosRenyi, N: 1, AvgDeg: 2},                      // too few nodes
+		{Model: ErdosRenyi, N: 100, AvgDeg: 0},                    // no degree
+		{Model: PrefAttach, N: 3, AvgDeg: 10},                     // N <= k
+		{Model: SmallWorld, N: 4, AvgDeg: 10},                     // k >= N
 		{Model: PowerLawConfig, N: 100, AvgDeg: 5, Exponent: 0.5}, // bad exponent
-		{Model: Model(99), N: 100, AvgDeg: 5},            // unknown model
+		{Model: Model(99), N: 100, AvgDeg: 5},                     // unknown model
 	}
 	for _, cfg := range cases {
 		if _, err := Generate(cfg); err == nil {

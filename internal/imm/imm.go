@@ -44,8 +44,13 @@ func (o *Options) setDefaults() {
 type Result struct {
 	Seeds       []graph.NodeID
 	SpreadLower float64 // certified lower bound on E[I(Seeds)] (n·cov/θ based)
-	Theta       int     // RR sets used in the selection phase
-	TotalRR     int64   // RR sets drawn across both phases
+	// Theta is the number of RR sets actually used in the selection phase
+	// (Collection.Len()). ThetaRequested is what the theory asked for;
+	// Theta < ThetaRequested means generation fell short (empty residual)
+	// and the (1−1/e−ε) guarantee is weakened — callers must check.
+	Theta          int
+	ThetaRequested int
+	TotalRR        int64 // RR sets drawn across both phases
 }
 
 // Select returns the (approximately) most influential k nodes of g.
@@ -113,10 +118,11 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 		spread = nf * float64(cum[len(cum)-1]) / float64(collection.Len())
 	}
 	return &Result{
-		Seeds:       seeds,
-		SpreadLower: spread / (1 + eps),
-		Theta:       theta,
-		TotalRR:     totalRR,
+		Seeds:          seeds,
+		SpreadLower:    spread / (1 + eps),
+		Theta:          collection.Len(),
+		ThetaRequested: theta,
+		TotalRR:        totalRR,
 	}, nil
 }
 

@@ -141,6 +141,10 @@ type RIS struct {
 	cachedVersion int64
 	cached        *ris.Collection
 	cachedAlive   int
+	workers       int
+
+	totalDrawn     int64
+	totalRequested int64
 }
 
 // NewRIS builds an RIS-backed oracle drawing theta RR sets per residual
@@ -154,14 +158,44 @@ func NewRIS(model cascade.Model, theta int, r *rng.RNG) *RIS {
 
 // ExpectedSpread estimates E[I_{G_i}(S)] = n_i · CovR(S)/θ.
 func (o *RIS) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 {
-	if o.cachedVersion != res.Version() {
-		s := ris.NewSampler(res, o.model, o.r.Split())
-		o.cached = s.Generate(o.theta)
-		o.cachedVersion = res.Version()
-		o.cachedAlive = res.N()
-	}
+	o.Refresh(res)
 	if o.cached.Len() == 0 {
 		return 0
 	}
 	return ris.EstimateSpread(o.cached.Cov(seeds), o.cached.Len(), o.cachedAlive)
 }
+
+// SetWorkers enables parallel RR generation on future refreshes (n > 1;
+// 0 or 1 keeps the default sequential sampler). Results stay
+// deterministic for a fixed worker count.
+func (o *RIS) SetWorkers(n int) { o.workers = n }
+
+// Refresh regenerates the cached RR collection if the residual's version
+// changed since the last query. Exposed so adaptive drivers can force the
+// per-round resampling (and account for it) at a well-defined point.
+func (o *RIS) Refresh(res *graph.Residual) {
+	if o.cachedVersion == res.Version() {
+		return
+	}
+	if o.workers > 1 {
+		o.cached = ris.GenerateParallel(res, o.model, o.r.Split(), o.theta, o.workers)
+	} else {
+		s := ris.NewSampler(res, o.model, o.r.Split())
+		o.cached = s.Generate(o.theta)
+	}
+	o.cachedVersion = res.Version()
+	o.cachedAlive = res.N()
+	o.totalDrawn += int64(o.cached.Len())
+	o.totalRequested += int64(o.cached.Requested())
+}
+
+// Collection returns the RR collection backing the current residual
+// version (nil before the first query).
+func (o *RIS) Collection() *ris.Collection { return o.cached }
+
+// TotalDrawn returns the RR sets generated across all refreshes.
+func (o *RIS) TotalDrawn() int64 { return o.totalDrawn }
+
+// TotalRequested returns the RR sets requested across all refreshes;
+// larger than TotalDrawn when generation hit an empty residual.
+func (o *RIS) TotalRequested() int64 { return o.totalRequested }

@@ -1,16 +1,28 @@
 package ris
 
 import (
+	"container/heap"
+
 	"repro/internal/graph"
 )
 
 // Collection is a set of RR sets with an inverted index from node to the
 // RR sets containing it, supporting the coverage queries of the paper:
 // CovR(S), marginal coverage CovR(u|S), and greedy max-coverage selection.
+//
+// A Collection is not safe for concurrent use: Cov routes through a
+// reusable internal mark buffer to stay allocation-free.
 type Collection struct {
 	n     int
 	sets  []*RRSet
 	index [][]int32 // node -> indices of RR sets containing it
+
+	// requested accumulates the θ values asked of the generators, so a
+	// shortfall (empty residual mid-generation) is observable instead of
+	// silently weakening the concentration guarantee.
+	requested int
+
+	scratch *Marks // lazily created buffer backing Cov
 }
 
 // NewCollection creates an empty collection over a graph with n nodes
@@ -28,8 +40,24 @@ func (c *Collection) Add(rr *RRSet) {
 	}
 }
 
-// Len returns the number of RR sets (the paper's θ).
+// Len returns the number of RR sets actually held (the paper's θ as far as
+// estimates are concerned).
 func (c *Collection) Len() int { return len(c.sets) }
+
+// Requested returns the total number of RR sets the generators were asked
+// for. Requested > Len means some draws hit an empty residual.
+func (c *Collection) Requested() int { return c.requested }
+
+// Shortfall returns how many requested RR sets were never generated.
+func (c *Collection) Shortfall() int {
+	if d := c.requested - len(c.sets); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// noteRequested records that theta RR sets were requested from a generator.
+func (c *Collection) noteRequested(theta int) { c.requested += theta }
 
 // Sets returns the underlying RR sets; read-only.
 func (c *Collection) Sets() []*RRSet { return c.sets }
@@ -37,33 +65,50 @@ func (c *Collection) Sets() []*RRSet { return c.sets }
 // SetsContaining returns the indices of RR sets that contain u.
 func (c *Collection) SetsContaining(u graph.NodeID) []int32 { return c.index[u] }
 
-// Cov returns CovR(S): the number of RR sets intersecting S.
+// Cov returns CovR(S): the number of RR sets intersecting S. It reuses an
+// internal mark buffer, so repeated queries allocate nothing after the
+// first.
 func (c *Collection) Cov(s []graph.NodeID) int {
-	covered := make([]bool, len(c.sets))
-	count := 0
-	for _, u := range s {
-		for _, id := range c.index[u] {
-			if !covered[id] {
-				covered[id] = true
-				count++
-			}
-		}
+	if c.scratch == nil {
+		c.scratch = c.NewMarks()
 	}
-	return count
+	c.scratch.Reset()
+	c.scratch.CoverAll(s)
+	return c.scratch.Count()
 }
 
 // Marks is a reusable coverage bitmap for incremental queries: mark the
 // RR sets covered by a base set once, then ask marginal coverages of many
-// candidate nodes in O(|index[u]|) each.
+// candidate nodes in O(|index[u]|) each. Reset is O(1) via generation
+// stamps, so one Marks serves many queries without reallocation.
 type Marks struct {
-	c       *Collection
-	covered []bool
-	count   int
+	c     *Collection
+	stamp []uint32 // stamp[id] == gen means RR set id is covered
+	gen   uint32
+	count int
 }
 
 // NewMarks creates an empty mark state over c.
 func (c *Collection) NewMarks() *Marks {
-	return &Marks{c: c, covered: make([]bool, len(c.sets))}
+	return &Marks{c: c, stamp: make([]uint32, len(c.sets)), gen: 1}
+}
+
+// Reset clears the mark state in O(1) (amortized; it grows the stamp array
+// if RR sets were added since creation and re-zeroes on generation wrap).
+func (m *Marks) Reset() {
+	if len(m.stamp) < len(m.c.sets) {
+		grown := make([]uint32, len(m.c.sets))
+		copy(grown, m.stamp)
+		m.stamp = grown
+	}
+	m.gen++
+	if m.gen == 0 { // wrapped: stale stamps could collide, so re-zero
+		for i := range m.stamp {
+			m.stamp[i] = 0
+		}
+		m.gen = 1
+	}
+	m.count = 0
 }
 
 // Count returns the number of currently covered RR sets.
@@ -74,8 +119,8 @@ func (m *Marks) Count() int { return m.count }
 func (m *Marks) Cover(u graph.NodeID) int {
 	gained := 0
 	for _, id := range m.c.index[u] {
-		if !m.covered[id] {
-			m.covered[id] = true
+		if m.stamp[id] != m.gen {
+			m.stamp[id] = m.gen
 			m.count++
 			gained++
 		}
@@ -95,7 +140,7 @@ func (m *Marks) CoverAll(s []graph.NodeID) {
 func (m *Marks) Marginal(u graph.NodeID) int {
 	gained := 0
 	for _, id := range m.c.index[u] {
-		if !m.covered[id] {
+		if m.stamp[id] != m.gen {
 			gained++
 		}
 	}
@@ -120,58 +165,66 @@ func EstimateSpread(cov, theta, nAlive int) float64 {
 	return float64(nAlive) * float64(cov) / float64(theta)
 }
 
+// celfEntry is a lazily evaluated candidate: gain is its marginal coverage
+// as of selection round `round`.
+type celfEntry struct {
+	node  graph.NodeID
+	gain  int
+	round int
+}
+
+// celfHeap is a max-heap on (gain, then smaller node ID) so selection is
+// deterministic under ties.
+type celfHeap []celfEntry
+
+func (h celfHeap) Len() int { return len(h) }
+func (h celfHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].node < h[j].node
+}
+func (h celfHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x any)   { *h = append(*h, x.(celfEntry)) }
+func (h *celfHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
 // GreedyMaxCoverage selects up to k nodes from candidates maximizing
-// coverage, the standard RIS selection step (used by IMM and NSG). It
-// returns the chosen nodes in selection order and their cumulative
-// coverage after each pick. Uses lazy evaluation (CELF) over an implicit
-// upper bound: marginals only decrease, so a stale best is re-evaluated
-// before acceptance.
+// coverage, the standard RIS selection step (used by IMM and the
+// nonadaptive baselines). It returns the chosen nodes in selection order
+// and their cumulative coverage after each pick.
+//
+// The implementation is heap-based CELF: marginal coverage only decreases
+// as nodes are selected, so each pop either carries a gain evaluated this
+// round (fresh — accept it) or a stale upper bound (re-evaluate and sift).
+// This replaces a full O(|C|) rescan per pick with O(log |C|) heap work
+// plus the few re-evaluations lazy greedy actually needs, which matters
+// when candidates are all n nodes (IMM's selection phase).
 func (c *Collection) GreedyMaxCoverage(candidates []graph.NodeID, k int) ([]graph.NodeID, []int) {
-	type entry struct {
-		node graph.NodeID
-		gain int
-	}
-	// Simple lazy-greedy; candidate counts here are small (target sets),
-	// so O(k·|C|) re-scans are fine and avoid heap bookkeeping. Ties break
-	// on node ID so selection is deterministic despite map iteration.
 	m := c.NewMarks()
-	gains := make(map[graph.NodeID]entry, len(candidates))
+	h := make(celfHeap, 0, len(candidates))
 	for _, u := range candidates {
-		gains[u] = entry{node: u, gain: len(c.index[u])}
+		h = append(h, celfEntry{node: u, gain: len(c.index[u]), round: 0})
 	}
+	heap.Init(&h)
 	var chosen []graph.NodeID
 	var cum []int
-	for len(chosen) < k && len(gains) > 0 {
-		// Find the candidate with the largest (possibly stale) gain, then
-		// refresh it; accept when fresh.
-		for {
-			var best entry
-			first := true
-			for _, e := range gains {
-				if first || e.gain > best.gain ||
-					(e.gain == best.gain && e.node < best.node) {
-					best = e
-					first = false
-				}
-			}
-			if first {
-				return chosen, cum
-			}
-			fresh := m.Marginal(best.node)
-			if fresh == best.gain {
-				if fresh == 0 {
-					// Nothing adds coverage; stop early.
-					return chosen, cum
-				}
-				m.Cover(best.node)
-				chosen = append(chosen, best.node)
-				cum = append(cum, m.Count())
-				delete(gains, best.node)
-				break
-			}
-			best.gain = fresh
-			gains[best.node] = best
+	for len(chosen) < k && h.Len() > 0 {
+		top := h[0]
+		if top.round != len(chosen) {
+			// Stale bound: refresh in place and restore heap order.
+			h[0].gain = m.Marginal(top.node)
+			h[0].round = len(chosen)
+			heap.Fix(&h, 0)
+			continue
 		}
+		if top.gain == 0 {
+			// The best fresh marginal is zero; nothing can add coverage.
+			break
+		}
+		m.Cover(top.node)
+		chosen = append(chosen, top.node)
+		cum = append(cum, m.Count())
+		heap.Pop(&h)
 	}
 	return chosen, cum
 }

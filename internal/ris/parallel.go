@@ -60,6 +60,7 @@ func GenerateParallel(res *graph.Residual, model cascade.Model, parent *rng.RNG,
 	}
 	wg.Wait()
 	c := NewCollection(res.FullN())
+	c.noteRequested(theta)
 	for _, sets := range results {
 		for _, rr := range sets {
 			c.Add(rr)

@@ -124,9 +124,13 @@ func (s *Sampler) Draw() *RRSet {
 	return set
 }
 
-// Generate draws theta RR sets into a new Collection.
+// Generate draws theta RR sets into a new Collection. If the residual has
+// no alive nodes the collection holds fewer sets than requested; callers
+// must read Collection.Len() (and may check Shortfall) rather than assume
+// theta sets exist.
 func (s *Sampler) Generate(theta int) *Collection {
 	c := NewCollection(s.res.FullN())
+	c.noteRequested(theta)
 	for i := 0; i < theta; i++ {
 		rr := s.Draw()
 		if rr == nil {

@@ -319,3 +319,60 @@ func TestEstimateSpreadZeroTheta(t *testing.T) {
 		t.Fatal("zero theta should estimate 0")
 	}
 }
+
+func TestGenerateShortfallSurfaced(t *testing.T) {
+	// Empty residual: every draw fails, so the collection must report the
+	// full shortfall instead of silently holding fewer sets.
+	g := fig1Graph()
+	res := graph.NewResidual(g)
+	for u := graph.NodeID(0); u < 7; u++ {
+		res.Remove(u)
+	}
+	s := NewSampler(res, cascade.IC, rng.New(1))
+	c := s.Generate(100)
+	if c.Len() != 0 || c.Requested() != 100 || c.Shortfall() != 100 {
+		t.Fatalf("len=%d requested=%d shortfall=%d, want 0/100/100", c.Len(), c.Requested(), c.Shortfall())
+	}
+	full := NewSampler(graph.NewResidual(g), cascade.IC, rng.New(1)).Generate(100)
+	if full.Shortfall() != 0 || full.Requested() != 100 {
+		t.Fatalf("live graph reported shortfall %d requested %d", full.Shortfall(), full.Requested())
+	}
+	par := GenerateParallel(res, cascade.IC, rng.New(2), 64, 4)
+	if par.Shortfall() != 64 {
+		t.Fatalf("parallel shortfall %d, want 64", par.Shortfall())
+	}
+}
+
+func TestMarksResetReusable(t *testing.T) {
+	g := fig1Graph()
+	s := NewSampler(graph.NewResidual(g), cascade.IC, rng.New(61))
+	c := s.Generate(2000)
+	m := c.NewMarks()
+	want := c.Cov([]graph.NodeID{1, 5})
+	for i := 0; i < 3; i++ {
+		m.Reset()
+		m.CoverAll([]graph.NodeID{1, 5})
+		if m.Count() != want {
+			t.Fatalf("after reset %d: count %d, want %d", i, m.Count(), want)
+		}
+	}
+	// Marks created before more sets are added must grow on Reset.
+	early := c.NewMarks()
+	c.Add(&RRSet{Root: 0, Nodes: []graph.NodeID{0}})
+	early.Reset()
+	if got := early.Cover(0); got != len(c.SetsContaining(0)) {
+		t.Fatalf("grown marks covered %d, want %d", got, len(c.SetsContaining(0)))
+	}
+}
+
+func TestCovAllocationFree(t *testing.T) {
+	g := fig1Graph()
+	s := NewSampler(graph.NewResidual(g), cascade.IC, rng.New(71))
+	c := s.Generate(50000)
+	seeds := []graph.NodeID{0, 1, 5}
+	c.Cov(seeds) // warm the scratch buffer
+	avg := testing.AllocsPerRun(50, func() { c.Cov(seeds) })
+	if avg != 0 {
+		t.Fatalf("Cov allocates %.1f per call after warmup, want 0", avg)
+	}
+}
