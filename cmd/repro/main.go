@@ -5,9 +5,10 @@
 //
 // Subcommands:
 //
-//	repro gen   --dataset nethept-s [--scale 0.1] [--out g.txt]
-//	repro run   --algo addatp --dataset nethept-s --model ic --cost degree-proportional
-//	repro bench [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
+//	repro gen    --dataset nethept-s [--scale 0.1] [--out g.txt]
+//	repro run    --algo addatp --dataset nethept-s --model ic --cost degree-proportional
+//	repro bench  [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
+//	repro report [--out EXPERIMENTS.md] [BENCH_*.json ...]
 package main
 
 import (
@@ -35,6 +36,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -52,9 +55,10 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: repro <subcommand> [flags]
 
 subcommands:
-  gen    materialize a Table II stand-in dataset (stats to stdout, graph to --out)
-  run    execute one algorithm on one dataset/model/cost configuration
-  bench  sweep algorithms x datasets x cost settings into a BENCH_*.json
+  gen     materialize a Table II stand-in dataset (stats to stdout, graph to --out)
+  run     execute one algorithm on one dataset/model/cost configuration
+  bench   sweep algorithms x datasets x cost settings into a BENCH_*.json
+  report  render BENCH_*.json files into EXPERIMENTS.md (Figures 2-4 tables)
 
 run 'repro <subcommand> -h' for flags.
 `)

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBench() *benchOutput {
+	return &benchOutput{
+		Datasets:     []string{"epinions-s", "nethept-s"},
+		Algos:        []string{"hatp", "addatp"},
+		CostSettings: []string{"uniform"},
+		Model:        "ic",
+		Scale:        0.05,
+		Seed:         1,
+		WallMS:       1234,
+		Rows: []*resultRow{
+			{Algo: "addatp", Dataset: "nethept-s", CostSetting: "uniform", Realizations: 2,
+				AvgProfit: 42.5, AvgRounds: 7, RRDrawn: 100000, RRReused: 900000, RRPeakBytes: 2 << 20},
+			{Algo: "hatp", Dataset: "nethept-s", CostSetting: "uniform", Realizations: 2,
+				AvgProfit: 41.25, AvgRounds: 6.5, RRDrawn: 12000, RRReused: 50000, RRPeakBytes: 1 << 20},
+		},
+		Errors: []string{"epinions-s/uniform: boom"},
+	}
+}
+
+func TestRenderReportTables(t *testing.T) {
+	md := renderReport([]*benchOutput{sampleBench()}, []string{"BENCH_x.json"})
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"## model=ic scale=0.05 seed=1",
+		"### Profit",
+		"### Rounds",
+		"### RR sets drawn",
+		"### RR sets reused",
+		"### Peak RR arena",
+		"| dataset | addatp | hatp |", // CLI order, not input order
+		"| nethept-s | 42.50 | 41.25 |",
+		"| nethept-s | 7.0 | 6.5 |",
+		"| nethept-s | 100000 | 12000 |",
+		"| nethept-s | 900000 | 50000 |",
+		"| nethept-s | 2.00 MiB | 1.00 MiB |",
+		"| epinions-s | — | — |", // missing cells render as em-dash
+		"- epinions-s/uniform: boom",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q:\n%s", want, md)
+		}
+	}
+	// Registry order puts nethept-s before epinions-s regardless of the
+	// bench's dataset list order.
+	if strings.Index(md, "| nethept-s |") > strings.Index(md, "| epinions-s |") {
+		t.Fatal("datasets not in Table II registry order")
+	}
+}
+
+func TestCmdReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "BENCH_t.json")
+	raw, err := json.Marshal(sampleBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(in, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "EXPERIMENTS.md")
+	if err := cmdReport([]string{"--out", out, in}); err != nil {
+		t.Fatal(err)
+	}
+	md, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "### Profit") {
+		t.Fatalf("round-tripped report malformed:\n%s", md)
+	}
+	// Deterministic: rendering the same fixture twice is byte-identical,
+	// which is what lets CI diff EXPERIMENTS.md against the fixture.
+	if err := cmdReport([]string{"--out", out + "2", in}); err != nil {
+		t.Fatal(err)
+	}
+	md2, err := os.ReadFile(out + "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(md) != string(md2) {
+		t.Fatal("report not deterministic across runs")
+	}
+}
+
+func TestCmdReportNoInputs(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+	if err := cmdReport([]string{"--out", filepath.Join(dir, "E.md")}); err == nil {
+		t.Fatal("report with no BENCH files succeeded")
+	}
+}

@@ -73,11 +73,17 @@ type resultRow struct {
 
 	RRDrawn     int64 `json:"rr_drawn"`
 	RRRequested int64 `json:"rr_requested"`
+	// RRReused counts draws avoided by cross-round RR-set reuse (validity
+	// filtering); RRPeakBytes is the largest RR-collection footprint any
+	// realization reached. Both are deterministic for a fixed seed.
+	RRReused    int64 `json:"rr_reused"`
+	RRPeakBytes int64 `json:"rr_peak_bytes"`
 	Fallbacks   int   `json:"fallbacks"`
 
 	ImmTheta          int   `json:"imm_theta"`
 	ImmThetaRequested int   `json:"imm_theta_requested"`
 	ImmTotalRR        int64 `json:"imm_total_rr"`
+	ImmPeakRRBytes    int64 `json:"imm_peak_rr_bytes"`
 
 	Seed    uint64 `json:"seed"`
 	SetupMS int64  `json:"setup_ms"` // dataset gen + IMM + cost calibration (shared across a bench row group)
@@ -159,10 +165,13 @@ func execute(cfg runConfig, p *preparedInstance) (*resultRow, error) {
 		MaxProfit:         rep.MaxProfit,
 		RRDrawn:           rep.RRDrawn,
 		RRRequested:       rep.RRRequested,
+		RRReused:          rep.RRReused,
+		RRPeakBytes:       rep.RRPeakBytes,
 		Fallbacks:         rep.Fallbacks,
 		ImmTheta:          immRes.Theta,
 		ImmThetaRequested: immRes.ThetaRequested,
 		ImmTotalRR:        immRes.TotalRR,
+		ImmPeakRRBytes:    immRes.PeakRRBytes,
 		Seed:              cfg.seed,
 		SetupMS:           p.setupMS,
 		WallMS:            time.Since(start).Milliseconds(),

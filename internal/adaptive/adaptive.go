@@ -1,32 +1,3 @@
-// Package adaptive implements the paper's adaptive target profit
-// maximization (ATP) algorithms and the nonadaptive baselines they are
-// compared against.
-//
-// The problem: given a target set T (in the experiments, the top-k
-// influential users picked by IMM) and a seeding cost c(u) per target,
-// select seeds from T one at a time. After each seed the realized cascade
-// is observed, the activated nodes are deleted, and the next decision is
-// made on the residual graph G_i. The objective is the realized profit
-// ρ(S) = I_φ(S) − c(S), which is unconstrained (no cardinality budget):
-// the algorithms stop when no remaining target has positive expected
-// marginal profit.
-//
-// Three policies are provided:
-//
-//   - ADG (adaptive greedy, §III): queries a spread oracle for
-//     E[I_{G_i}({u})] exactly (or via a fixed estimator) and seeds the
-//     best target while its marginal profit is positive.
-//   - ADDATP (Algorithm 3): replaces the oracle with RR-set sampling
-//     whose additive error is controlled by the Hoeffding bound
-//     (bounds.HoeffdingTheta); each round refines ζ until the seeding or
-//     stopping decision is certified.
-//   - HATP (Algorithm 4): the hybrid relative+additive martingale bound
-//     (bounds.HybridTheta) certifies the same decisions with far fewer RR
-//     sets when ζ is small.
-//
-// Nonadaptive baselines: seeding all of T upfront (the classic target-set
-// seeding the worked example compares against) and a nonadaptive greedy
-// that picks a subset of T on RIS estimates before any observation.
 package adaptive
 
 import (
@@ -108,9 +79,16 @@ type RunResult struct {
 	Cost      float64        `json:"cost"`
 	Profit    float64        `json:"profit"` // Spread − Cost
 
-	// Sampling accounting (zero for oracle-driven ADG; see ADGResult).
+	// Sampling accounting (zero for exact-oracle ADG).
 	RRDrawn     int64 `json:"rr_drawn"`
 	RRRequested int64 `json:"rr_requested"`
+	// RRReused counts draws avoided by cross-round reuse: RR sets that
+	// survived validity filtering and were counted toward a later θ target
+	// instead of being regenerated.
+	RRReused int64 `json:"rr_reused"`
+	// RRPeakBytes is the largest heap footprint of the RR collection
+	// (arena + offsets + roots + inverted index); deterministic per seed.
+	RRPeakBytes int64 `json:"rr_peak_bytes"`
 	// Fallbacks counts rounds where the refinement budget ran out and the
 	// decision fell back to the point estimate (sampling policies only).
 	Fallbacks int `json:"fallbacks"`

@@ -48,6 +48,8 @@ func RunADG(inst *Instance, env *Environment, orc oracle.Oracle) (*RunResult, er
 	if ris, ok := orc.(*oracle.RIS); ok {
 		r.RRDrawn = ris.TotalDrawn()
 		r.RRRequested = ris.TotalRequested()
+		r.RRReused = ris.TotalReused()
+		r.RRPeakBytes = ris.PeakRRBytes()
 	}
 	return r, nil
 }

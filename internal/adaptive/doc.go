@@ -1,0 +1,46 @@
+// Package adaptive implements the paper's (conf_icde_Huang0XSL20)
+// adaptive target profit maximization (ATP) algorithms and the
+// nonadaptive baselines they are compared against.
+//
+// The problem (§III): given a target set T (in the experiments, the top-k
+// influential users picked by IMM, §VI-A) and a seeding cost c(u) per
+// target, select seeds from T one at a time. After each seed the realized
+// cascade is observed (full-adoption feedback), the activated nodes are
+// deleted, and the next decision is made on the residual graph G_i. The
+// objective is the realized profit ρ(S) = I_φ(S) − c(S), which is
+// unconstrained (no cardinality budget): the algorithms stop when no
+// remaining target has positive expected marginal profit.
+//
+// Three policies are provided:
+//
+//   - ADG (adaptive greedy, §V): queries a spread oracle for
+//     E[I_{G_i}({u})] exactly (or via a fixed estimator) and seeds the
+//     best target while its marginal profit is positive (RunADG).
+//   - ADDATP (Algorithm 3): replaces the oracle with RR-set sampling
+//     whose additive error ζ on the coverage fraction is controlled by
+//     the Hoeffding bound (bounds.HoeffdingTheta, Lemma 4); each round
+//     refines ζ ← ζ/2 until the seeding or stopping decision is
+//     certified (RunADDATP).
+//   - HATP (Algorithm 4): the hybrid relative+additive martingale bound
+//     (bounds.HybridTheta, Lemma 7) certifies the same decisions with a
+//     per-round sample size linear in 1/ζ instead of quadratic
+//     (RunHATP) — the paper's headline efficiency gain.
+//
+// Both sampling policies share one round structure (runSampling in
+// sampling.go) and one RR collection: refinement grows θ on an unchanged
+// residual so earlier samples count toward the new target, and after a
+// seeding observation the collection is validity-filtered
+// (ris.Collection.Filter) and only the shortfall is redrawn. RunResult's
+// RRDrawn / RRReused / RRPeakBytes fields account for the sampling cost,
+// the draws avoided by reuse, and the peak RR-storage footprint.
+//
+// Nonadaptive baselines (nonadaptive.go): seeding all of T upfront (the
+// classic target-set seeding the worked example of Fig. 1 compares
+// against) and a nonadaptive greedy that picks a subset of T on RIS
+// estimates before any observation.
+//
+// Prepare (setup.go) builds experiment instances the way §VI-A does: IMM
+// picks T, a high-probability spread lower bound E_l[I(T)] becomes the
+// seeding budget so ρ(T) ≥ 0, and the budget is split over T per the
+// configured cost setting.
+package adaptive

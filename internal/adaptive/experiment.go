@@ -62,6 +62,10 @@ func Run(inst *Instance, env *Environment, algo string, opts RunOptions, r *rng.
 			}
 			ris := oracle.NewRIS(inst.Model, opts.ADGTheta, r.Split())
 			ris.SetWorkers(w)
+			// Large-graph ADG keeps its RR pool across rounds, filtering
+			// out invalidated sets and topping up the shortfall, matching
+			// the sampling policies' reuse strategy.
+			ris.SetReuse(!opts.Sampling.NoReuse)
 			orc = ris
 		}
 		return RunADG(inst, env, orc)
@@ -92,6 +96,8 @@ type Report struct {
 	MaxProfit    float64 `json:"max_profit"`
 	RRDrawn      int64   `json:"rr_drawn"`
 	RRRequested  int64   `json:"rr_requested"`
+	RRReused     int64   `json:"rr_reused"`
+	RRPeakBytes  int64   `json:"rr_peak_bytes"` // max over realizations
 	Fallbacks    int     `json:"fallbacks"`
 	Runs         []*RunResult
 }
@@ -119,6 +125,10 @@ func RunExperiment(inst *Instance, algo string, realizations int, opts RunOption
 		rep.AvgRounds += float64(run.Rounds)
 		rep.RRDrawn += run.RRDrawn
 		rep.RRRequested += run.RRRequested
+		rep.RRReused += run.RRReused
+		if run.RRPeakBytes > rep.RRPeakBytes {
+			rep.RRPeakBytes = run.RRPeakBytes
+		}
 		rep.Fallbacks += run.Fallbacks
 		if i == 0 || run.Profit < rep.MinProfit {
 			rep.MinProfit = run.Profit

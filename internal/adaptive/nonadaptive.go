@@ -76,6 +76,7 @@ func RunNonadaptiveGreedy(inst *Instance, env *Environment, theta int, r *rng.RN
 	if col != nil {
 		result.RRDrawn = int64(col.Len())
 		result.RRRequested = int64(col.Requested())
+		result.RRPeakBytes = col.Bytes()
 	}
 	return result, nil
 }

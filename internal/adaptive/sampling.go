@@ -23,6 +23,14 @@ type SamplingOptions struct {
 	MaxRefine int
 	// Workers for parallel RR generation; 0 means GOMAXPROCS.
 	Workers int
+	// NoReuse disables RR-set reuse: every refinement attempt regenerates
+	// its full θ from scratch, as the pre-reuse implementation did.
+	// Within-round reuse (θ growth on an unchanged residual) is exactly
+	// distribution-preserving; cross-round reuse keeps only sets avoiding
+	// every deleted node, which is per-root exact but slightly
+	// over-represents high-survival roots (see ris.Collection.Filter).
+	// NoReuse exists for A/B comparison and debugging.
+	NoReuse bool
 }
 
 func (o *SamplingOptions) setDefaults() {
@@ -64,7 +72,7 @@ func clampSpread(v float64, nAlive int) float64 {
 }
 
 // runSampling is the round structure shared by Algorithms 3 and 4. Each
-// round draws θ(ζ_i, δ_i) RR sets on the residual graph, estimates every
+// round needs θ(ζ_i, δ_i) RR sets on the residual graph, estimates every
 // alive target's marginal spread as n_i·Cov(u)/θ, and then either
 //
 //   - seeds the best target, when its profit lower bound is positive;
@@ -73,6 +81,15 @@ func clampSpread(v float64, nAlive int) float64 {
 //     certified — falling back to the point estimate after MaxRefine
 //     halvings so a marginal profit sitting exactly at 0 cannot loop
 //     forever.
+//
+// One RR collection persists across attempts and rounds. Refinement grows
+// θ on an unchanged residual, so earlier samples count toward the new
+// target and only the difference is drawn (the sequential-sampling view
+// of Algorithms 3/4). After a seeding observation mutates the residual,
+// Collection.Filter keeps exactly the sets that avoid every deleted node
+// — still correctly distributed RR samples of the new residual — and the
+// shortfall to the next θ target is topped up. RunResult.RRReused counts
+// the draws avoided versus regenerating every attempt from scratch.
 func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOptions, r *rng.RNG) (*RunResult, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
@@ -85,7 +102,8 @@ func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOpti
 	var seeds []graph.NodeID
 	var alive []graph.NodeID
 	fallbacks := 0
-	var drawn, requested int64
+	var drawn, requested, reused, peakBytes int64
+	var col *ris.Collection
 
 	for {
 		res := env.Residual()
@@ -101,19 +119,44 @@ func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOpti
 			if err != nil {
 				return nil, fmt.Errorf("adaptive: %s round %d: %w", reg.name(), len(seeds)+1, err)
 			}
-			col := ris.GenerateParallel(res, inst.Model, r.Split(), theta, opts.Workers)
-			drawn += int64(col.Len())
-			requested += int64(col.Requested())
+			if opts.NoReuse || col == nil {
+				col = ris.GenerateParallel(res, inst.Model, r.Split(), theta, opts.Workers)
+				drawn += int64(col.Len())
+				requested += int64(col.Requested())
+			} else {
+				kept := col.Filter(res)
+				if kept > theta {
+					kept = theta // draws avoided vs a from-scratch attempt
+				}
+				reused += int64(kept)
+				if shortfall := theta - col.Len(); shortfall > 0 {
+					before := col.Len()
+					ris.AppendParallel(col, res, inst.Model, r.Split(), shortfall, opts.Workers)
+					drawn += int64(col.Len() - before)
+					requested += int64(shortfall)
+				}
+			}
+			if b := col.Bytes(); b > peakBytes {
+				peakBytes = b
+			}
 			if col.Len() == 0 {
 				stop = true
 				break
 			}
 			// Per-target marginal profit from single-node coverage counts.
+			// The effective sample size is col.Len(), which can exceed this
+			// attempt's θ when a new round starts from a larger filtered
+			// collection. For within-round growth the certificates hold
+			// verbatim (same residual, independent samples, θ' ≥ θ); sets
+			// kept across rounds additionally carry Filter's root-mix
+			// tilt, so cross-round certificates are exact per root but
+			// approximate in the root marginal — NoReuse restores the
+			// paper's from-scratch sampling when that matters.
 			best := graph.NodeID(-1)
 			bestProfit, bestFrac := 0.0, 0.0
 			maxUpper := 0.0
 			for _, u := range alive {
-				frac := float64(len(col.SetsContaining(u))) / float64(col.Len())
+				frac := float64(col.CountContaining(u)) / float64(col.Len())
 				est := clampSpread(frac*float64(nAlive), nAlive)
 				profit := est - inst.Costs.Cost(u)
 				if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
@@ -154,6 +197,8 @@ func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOpti
 	result := inst.finish(reg.name(), seeds, env)
 	result.RRDrawn = drawn
 	result.RRRequested = requested
+	result.RRReused = reused
+	result.RRPeakBytes = peakBytes
 	result.Fallbacks = fallbacks
 	return result, nil
 }

@@ -1,8 +1,3 @@
-// Package bounds implements the concentration inequalities the paper's
-// sampling algorithms rest on: the Hoeffding inequality (Lemma 4, used by
-// ADDATP) and the Relative+Additive martingale bound (Lemma 7, used by
-// HATP), together with the sample-size calculators θ(ζ,δ) and θ(ε,ζ,δ)
-// read off Algorithms 3 and 4.
 package bounds
 
 import (

@@ -1,0 +1,16 @@
+// Package bounds implements the concentration inequalities the paper's
+// (conf_icde_Huang0XSL20) sampling algorithms rest on:
+//
+//   - the Hoeffding inequality (Lemma 4), which certifies ADDATP's
+//     additive-error decisions with the per-round sample size
+//     θ = ln(8/δ)/(2ζ²) read off Algorithm 3 (HoeffdingTheta);
+//   - the relative+additive martingale bounds (Lemma 7, eqs. 10–11),
+//     which certify HATP's hybrid-error decisions with
+//     θ = (1+ε/3)²/(2εζ)·ln(4/δ) read off Algorithm 4 (HybridTheta) —
+//     linear in 1/ζ where Hoeffding is quadratic, the reason HATP's
+//     refinement is cheap.
+//
+// Tail evaluators (HoeffdingTail, HybridUpperTail, HybridLowerTail) and
+// the inverse-Hoeffding half-width (ConfidenceInterval) support
+// diagnostics and the EXPERIMENTS.md reporting.
+package bounds

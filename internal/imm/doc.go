@@ -1,0 +1,24 @@
+// Package imm implements the IMM influence-maximization algorithm of
+// Tang, Shi and Xiao (SIGMOD 2015), which the paper
+// (conf_icde_Huang0XSL20, §VI-A) uses ("one of the state of the arts
+// [28]") to pick the top-k influential users as the target seed set T of
+// every experiment.
+//
+// IMM runs in two phases. The sampling phase searches exponentially
+// decreasing guesses x = n/2^i of OPT_k; for each guess it draws enough
+// RR sets that a greedy max-coverage solution exceeding the threshold
+// certifies a lower bound LB on OPT_k with high probability. The node
+// selection phase then draws θ(LB) RR sets and greedily picks k nodes
+// (heap-based CELF over the CSR collection, ris.GreedyMaxCoverage),
+// giving a (1 − 1/e − ε)-approximation with probability 1 − 1/n^ℓ.
+//
+// Each sampling-phase guess draws a fresh collection rather than reusing
+// the previous guess's sets: IMM's guarantee needs the sets certifying LB
+// to be independent of earlier guesses. The CSR arena still keeps each
+// phase a handful of allocations, and Result.PeakRRBytes reports the
+// largest collection any phase materialized.
+//
+// SpreadLowerBound additionally exposes the Hoeffding lower bound
+// E_l[I(T)] that §VI-A's cost calibration uses as the total seeding
+// budget, keeping the baseline profit ρ(T) nonnegative.
+package imm

@@ -1,14 +1,3 @@
-// Package imm implements the IMM influence-maximization algorithm of
-// Tang, Shi and Xiao (SIGMOD 2015), which the paper uses ("one of the
-// state of the arts [28]") to pick the top-k influential users as the
-// target seed set T.
-//
-// IMM runs in two phases. The sampling phase searches exponentially
-// decreasing guesses x = n/2^i of OPT_k; for each guess it draws enough RR
-// sets that a greedy max-coverage solution exceeding the threshold
-// certifies a lower bound LB on OPT_k with high probability. The node
-// selection phase then draws θ(LB) RR sets and greedily picks k nodes,
-// giving a (1 − 1/e − ε)-approximation with probability 1 − 1/n^ℓ.
 package imm
 
 import (
@@ -51,6 +40,9 @@ type Result struct {
 	Theta          int
 	ThetaRequested int
 	TotalRR        int64 // RR sets drawn across both phases
+	// PeakRRBytes is the largest arena footprint any phase's RR collection
+	// reached (ris.Collection.Bytes); deterministic per seed.
+	PeakRRBytes int64
 }
 
 // Select returns the (approximately) most influential k nodes of g.
@@ -81,6 +73,7 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	lambdaPrime := (2 + 2*epsPrime/3) * (logChooseNK + ell*math.Log(nf) + math.Log(math.Log2(math.Max(nf, 2)))) * nf / (epsPrime * epsPrime)
 	lb := 1.0
 	var collection *ris.Collection
+	var peakBytes int64
 	maxI := int(math.Ceil(math.Log2(nf))) - 1
 	if maxI < 1 {
 		maxI = 1
@@ -88,8 +81,14 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	for i := 1; i <= maxI; i++ {
 		x := nf / math.Exp2(float64(i))
 		thetaI := int(math.Ceil(lambdaPrime / x))
+		// Each guess draws a fresh collection: IMM's guarantee needs the
+		// sets that certify LB to be independent of earlier guesses, so
+		// unlike the adaptive round loop there is no cross-guess reuse.
 		collection = ris.GenerateParallel(res, opts.Model, r.Split(), thetaI, opts.Workers)
 		totalRR += int64(collection.Len())
+		if b := collection.Bytes(); b > peakBytes {
+			peakBytes = b
+		}
 		all := allNodes(n)
 		seeds, cum := collection.GreedyMaxCoverage(all, k)
 		if len(seeds) == 0 {
@@ -112,6 +111,9 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	}
 	collection = ris.GenerateParallel(res, opts.Model, r.Split(), theta, opts.Workers)
 	totalRR += int64(collection.Len())
+	if b := collection.Bytes(); b > peakBytes {
+		peakBytes = b
+	}
 	seeds, cum := collection.GreedyMaxCoverage(allNodes(n), k)
 	spread := 0.0
 	if len(cum) > 0 {
@@ -123,6 +125,7 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 		Theta:          collection.Len(),
 		ThetaRequested: theta,
 		TotalRR:        totalRR,
+		PeakRRBytes:    peakBytes,
 	}, nil
 }
 

@@ -1,18 +1,3 @@
-// Package oracle provides the spread oracles of the paper's oracle model
-// (§III-B), where E[I_G(S)] is assumed accessible in O(1).
-//
-// Three implementations:
-//
-//   - Exact: enumerates all 2^m realizations. Exponential; for the tiny
-//     graphs in tests and worked examples (m ≤ ~20) it is the ground truth
-//     everything else is validated against.
-//   - MonteCarlo: averages forward simulations; an (ε,δ)-approximate stand-in
-//     for the oracle on larger graphs, with memoization keyed on the
-//     residual version and seed set.
-//   - RIS: estimates through a fixed RR-set collection; cheapest, used by
-//     ADG when configured for larger graphs.
-//
-// All oracles answer on residual views so ADG can query E[I_{G_i}(·)].
 package oracle
 
 import (
@@ -131,8 +116,10 @@ func (o *MonteCarlo) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) f
 	return v
 }
 
-// RIS estimates spreads from a fresh RR-set collection per residual
-// version. theta controls the sample size.
+// RIS estimates spreads from an RR-set collection maintained per residual
+// version. theta controls the sample size. When the residual mutates, the
+// cached collection is validity-filtered (ris.Collection.Filter) and only
+// the shortfall is regenerated, instead of discarding every set.
 type RIS struct {
 	model cascade.Model
 	theta int
@@ -142,9 +129,12 @@ type RIS struct {
 	cached        *ris.Collection
 	cachedAlive   int
 	workers       int
+	reuse         bool
 
 	totalDrawn     int64
 	totalRequested int64
+	totalReused    int64
+	peakBytes      int64
 }
 
 // NewRIS builds an RIS-backed oracle drawing theta RR sets per residual
@@ -170,23 +160,56 @@ func (o *RIS) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 
 // deterministic for a fixed worker count.
 func (o *RIS) SetWorkers(n int) { o.workers = n }
 
-// Refresh regenerates the cached RR collection if the residual's version
-// changed since the last query. Exposed so adaptive drivers can force the
-// per-round resampling (and account for it) at a well-defined point.
+// SetReuse enables cross-version RR-set reuse: on a residual change,
+// Refresh keeps the cached sets still valid under the new residual
+// (ris.Collection.Filter) and draws only the shortfall.
+//
+// Off by default because filtering tilts the pool's root mix: each kept
+// set is, conditioned on its root, exactly an RR set of the new residual,
+// but roots whose sets tend to survive are over-represented versus the
+// uniform root draw the estimator assumes. The tilt is proportional to
+// how much of the pool the deletion invalidated — negligible for the
+// small per-round deletions of adaptive seeding, extreme on adversarial
+// graphs (deleting a chain's middle node leaves only single-node sets).
+// Callers accepting that trade (ADG on large graphs) opt in explicitly.
+func (o *RIS) SetReuse(on bool) { o.reuse = on }
+
+// Refresh brings the cached RR collection up to date with the residual's
+// version. On the first call it generates θ sets from scratch; afterwards
+// it compacts the collection to the sets still valid on the mutated
+// residual and draws only the shortfall, so sets that avoid every deleted
+// node are reused across rounds instead of being discarded. Exposed so
+// adaptive drivers can force the per-round resampling (and account for
+// it) at a well-defined point.
 func (o *RIS) Refresh(res *graph.Residual) {
-	if o.cachedVersion == res.Version() {
+	if o.cachedVersion == res.Version() && o.cached != nil {
 		return
 	}
-	if o.workers > 1 {
-		o.cached = ris.GenerateParallel(res, o.model, o.r.Split(), o.theta, o.workers)
+	// workers <= 0 stays sequential here (unlike GenerateParallel's
+	// GOMAXPROCS default) so an unconfigured oracle is deterministic
+	// across machines; SetWorkers opts in to parallel generation.
+	w := o.workers
+	if w < 1 {
+		w = 1
+	}
+	if o.cached == nil || !o.reuse {
+		o.cached = ris.GenerateParallel(res, o.model, o.r.Split(), o.theta, w)
+		o.totalDrawn += int64(o.cached.Len())
+		o.totalRequested += int64(o.cached.Requested())
 	} else {
-		s := ris.NewSampler(res, o.model, o.r.Split())
-		o.cached = s.Generate(o.theta)
+		kept := o.cached.Filter(res)
+		o.totalReused += int64(kept)
+		if shortfall := o.theta - kept; shortfall > 0 {
+			ris.AppendParallel(o.cached, res, o.model, o.r.Split(), shortfall, w)
+			o.totalDrawn += int64(o.cached.Len() - kept)
+			o.totalRequested += int64(shortfall)
+		}
 	}
 	o.cachedVersion = res.Version()
 	o.cachedAlive = res.N()
-	o.totalDrawn += int64(o.cached.Len())
-	o.totalRequested += int64(o.cached.Requested())
+	if b := o.cached.Bytes(); b > o.peakBytes {
+		o.peakBytes = b
+	}
 }
 
 // Collection returns the RR collection backing the current residual
@@ -196,6 +219,17 @@ func (o *RIS) Collection() *ris.Collection { return o.cached }
 // TotalDrawn returns the RR sets generated across all refreshes.
 func (o *RIS) TotalDrawn() int64 { return o.totalDrawn }
 
-// TotalRequested returns the RR sets requested across all refreshes;
-// larger than TotalDrawn when generation hit an empty residual.
+// TotalRequested returns the RR sets requested from the generators across
+// all refreshes; larger than TotalDrawn when generation hit an empty
+// residual. Reused sets are not re-requested, so with reuse this is
+// smaller than refreshes × θ.
 func (o *RIS) TotalRequested() int64 { return o.totalRequested }
+
+// TotalReused returns the RR sets carried over across residual versions
+// by validity filtering — draws the oracle avoided versus regenerating θ
+// sets on every refresh.
+func (o *RIS) TotalReused() int64 { return o.totalReused }
+
+// PeakRRBytes returns the largest heap footprint the cached collection
+// reached (ris.Collection.Bytes). Deterministic for a fixed seed.
+func (o *RIS) PeakRRBytes() int64 { return o.peakBytes }

@@ -1,0 +1,80 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TestRISReuseTopsUpShortfall: with SetReuse(true), a residual mutation
+// must keep the still-valid RR sets (nonzero TotalReused), draw only the
+// shortfall, and keep estimates close to a from-scratch oracle on a graph
+// where the deletion invalidates few sets.
+func TestRISReuseTopsUpShortfall(t *testing.T) {
+	g, err := gen.Generate(gen.Config{Model: gen.PrefAttach, N: 300, AvgDeg: 5, Directed: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const theta = 20000
+	reusing := NewRIS(cascade.IC, theta, rng.New(17))
+	reusing.SetReuse(true)
+	fresh := NewRIS(cascade.IC, theta, rng.New(17))
+
+	res := graph.NewResidual(g)
+	seeds := []graph.NodeID{5}
+	_ = reusing.ExpectedSpread(res, seeds)
+	if reusing.TotalReused() != 0 {
+		t.Fatalf("reused %d sets before any mutation", reusing.TotalReused())
+	}
+
+	// Delete a low-degree leaf-ish node: most RR sets stay valid.
+	victim := graph.NodeID(g.N() - 1)
+	res.Remove(victim)
+	a := reusing.ExpectedSpread(res, seeds)
+	resFresh := graph.NewResidual(g)
+	resFresh.Remove(victim)
+	b := fresh.ExpectedSpread(resFresh, seeds)
+
+	if reusing.TotalReused() == 0 {
+		t.Fatal("no RR sets reused across the residual change")
+	}
+	if reusing.TotalDrawn() >= fresh.TotalDrawn()+int64(theta) {
+		t.Fatalf("reuse drew %d, fresh %d per version; reuse saved nothing",
+			reusing.TotalDrawn(), fresh.TotalDrawn())
+	}
+	if reusing.PeakRRBytes() <= 0 {
+		t.Fatalf("peak RR bytes %d", reusing.PeakRRBytes())
+	}
+	// Same spread up to sampling noise (both pools are size θ).
+	if math.Abs(a-b) > 0.15*math.Max(a, b) {
+		t.Fatalf("reused estimate %.3f vs fresh %.3f diverged", a, b)
+	}
+}
+
+// TestRISDefaultRegeneratesUnbiased: without SetReuse the oracle must
+// regenerate from scratch per version — the deterministic-chain case
+// where filtered reuse would tilt the root mix (only the {0} sets survive
+// deleting the middle node) and overestimate the spread.
+func TestRISDefaultRegeneratesUnbiased(t *testing.T) {
+	g := graph.MustFromEdges(3, true, []graph.Edge{
+		{From: 0, To: 1, P: 1}, {From: 1, To: 2, P: 1},
+	})
+	ro := NewRIS(cascade.IC, 5000, rng.New(29))
+	res := graph.NewResidual(g)
+	_ = ro.ExpectedSpread(res, []graph.NodeID{0})
+	res.Remove(1)
+	got := ro.ExpectedSpread(res, []graph.NodeID{0})
+	if math.Abs(got-1) > 0.05 {
+		t.Fatalf("default oracle estimates %.3f after removal, want ~1", got)
+	}
+	if ro.TotalReused() != 0 {
+		t.Fatalf("default oracle reused %d sets", ro.TotalReused())
+	}
+	if ro.TotalDrawn() != 10000 {
+		t.Fatalf("default oracle drew %d, want 2×5000", ro.TotalDrawn())
+	}
+}

@@ -1,0 +1,252 @@
+package ris
+
+import (
+	"repro/internal/graph"
+)
+
+// Collection stores RR sets in a CSR/arena layout: the nodes of every RR
+// set live in one flat arena, with per-set offsets, so a collection is a
+// handful of contiguous allocations regardless of how many sets it holds.
+// The inverted index (node -> ids of the RR sets containing it) is itself
+// CSR — one flat id arena plus per-node offsets — built lazily in a single
+// counting pass the first time a coverage query needs it.
+//
+// Layout:
+//
+//	set i's nodes:            arena[offsets[i]:offsets[i+1]], root roots[i]
+//	sets containing node u:   invArena[invOff[u]:invOff[u+1]]
+//
+// Compared to the previous []*RRSet + per-node []int32 layout this cuts
+// per-set and per-node allocations to O(1) amortized and keeps the data
+// cache-contiguous, which is what lets livejournal-scale θ fit in memory.
+//
+// A Collection additionally supports cross-round reuse: Filter compacts
+// the arena in place to the RR sets still valid on a mutated residual
+// (tracked via graph.Residual.Version), and the generators in ris.go /
+// parallel.go can append a top-up into an existing collection instead of
+// rebuilding from scratch.
+//
+// A Collection is not safe for concurrent use: Cov routes through a
+// reusable internal mark buffer to stay allocation-free.
+type Collection struct {
+	n int // node-ID space (full graph size; residuals keep original IDs)
+
+	arena   []graph.NodeID
+	offsets []int32
+	roots   []graph.NodeID
+
+	invArena []int32
+	invOff   []int32
+	cursor   []int32 // scratch for ensureIndex's fill pass
+	invValid bool
+
+	// version is the graph.Residual.Version the held sets were drawn on
+	// (or last filtered against); -1 when unknown. Filter uses it to skip
+	// rescans when the residual has not changed.
+	version int64
+
+	// requested accumulates the θ values asked of the generators, so a
+	// shortfall (empty residual mid-generation) is observable instead of
+	// silently weakening the concentration guarantee. Filter resets it to
+	// the surviving count, so after a filter + top-up cycle it reflects
+	// the current contents again.
+	requested int
+
+	scratch *Marks // lazily created buffer backing Cov
+}
+
+// NewCollection creates an empty collection over a graph with n nodes
+// (full node count; residual sampling still uses original IDs).
+func NewCollection(n int) *Collection {
+	return &Collection{n: n, offsets: []int32{0}, version: -1}
+}
+
+// Add appends one RR set and invalidates the inverted index.
+func (c *Collection) Add(rr *RRSet) { c.AddSet(rr.Root, rr.Nodes) }
+
+// maxArena bounds the flat arena length so int32 offsets cannot wrap; at
+// livejournal scale that is ~2 billion node entries (8 GiB) per
+// collection, beyond which the overflow must be loud, not silent.
+const maxArena = 1<<31 - 1
+
+// AddSet appends an RR set given as (root, nodes) without requiring an
+// RRSet box; nodes are copied into the arena.
+func (c *Collection) AddSet(root graph.NodeID, nodes []graph.NodeID) {
+	if len(c.arena)+len(nodes) > maxArena {
+		panic("ris: collection arena exceeds int32 offset range; shard the collection")
+	}
+	c.arena = append(c.arena, nodes...)
+	c.offsets = append(c.offsets, int32(len(c.arena)))
+	c.roots = append(c.roots, root)
+	c.invValid = false
+}
+
+// appendBulk splices a chunk of sets (a worker-local arena) onto c,
+// preserving set order. lens holds the per-set node counts.
+func (c *Collection) appendBulk(arena []graph.NodeID, lens []int32, roots []graph.NodeID) {
+	if len(c.arena)+len(arena) > maxArena {
+		panic("ris: collection arena exceeds int32 offset range; shard the collection")
+	}
+	c.arena = append(c.arena, arena...)
+	base := c.offsets[len(c.offsets)-1]
+	for _, l := range lens {
+		base += l
+		c.offsets = append(c.offsets, base)
+	}
+	c.roots = append(c.roots, roots...)
+	c.invValid = false
+}
+
+// Len returns the number of RR sets actually held (the paper's θ as far as
+// estimates are concerned).
+func (c *Collection) Len() int { return len(c.roots) }
+
+// Root returns the root of RR set i.
+func (c *Collection) Root(i int) graph.NodeID { return c.roots[i] }
+
+// SetNodes returns the nodes of RR set i as a view into the arena;
+// read-only, invalidated by Filter.
+func (c *Collection) SetNodes(i int) []graph.NodeID {
+	return c.arena[c.offsets[i]:c.offsets[i+1]]
+}
+
+// Requested returns the total number of RR sets the generators were asked
+// for. Requested > Len means some draws hit an empty residual.
+func (c *Collection) Requested() int { return c.requested }
+
+// Shortfall returns how many requested RR sets were never generated.
+func (c *Collection) Shortfall() int {
+	if d := c.requested - c.Len(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// noteRequested records that theta RR sets were requested from a generator.
+func (c *Collection) noteRequested(theta int) { c.requested += theta }
+
+// noteVersion records the residual version the sets are being drawn on.
+func (c *Collection) noteVersion(v int64) { c.version = v }
+
+// Version returns the residual version the collection's sets are valid
+// for (-1 when the collection was built without a residual).
+func (c *Collection) Version() int64 { return c.version }
+
+// Bytes returns the heap footprint of the collection's backing arrays
+// (arena, offsets, roots, and inverted index if built). Deterministic for
+// a deterministic build, unlike process-level memory stats, so it can be
+// reported in reproducible experiment rows.
+func (c *Collection) Bytes() int64 {
+	b := int64(cap(c.arena))*4 + int64(cap(c.offsets))*4 + int64(cap(c.roots))*4
+	b += int64(cap(c.invArena))*4 + int64(cap(c.invOff))*4
+	return b
+}
+
+// ensureIndex builds the CSR inverted index in one counting pass:
+// per-node occurrence counts, prefix sum, then a fill preserving
+// ascending set-id order per node.
+func (c *Collection) ensureIndex() {
+	if c.invValid {
+		return
+	}
+	if cap(c.invOff) < c.n+1 {
+		c.invOff = make([]int32, c.n+1)
+	} else {
+		c.invOff = c.invOff[:c.n+1]
+		for i := range c.invOff {
+			c.invOff[i] = 0
+		}
+	}
+	for _, u := range c.arena {
+		c.invOff[u+1]++
+	}
+	for u := 0; u < c.n; u++ {
+		c.invOff[u+1] += c.invOff[u]
+	}
+	if cap(c.invArena) < len(c.arena) {
+		c.invArena = make([]int32, len(c.arena))
+	} else {
+		c.invArena = c.invArena[:len(c.arena)]
+	}
+	// cursor[u] tracks the next free slot for node u during the fill; a
+	// persistent scratch (reused like invOff/invArena) keeps index
+	// rebuilds — one per Filter or top-up — allocation-free at steady
+	// state even on multi-million-node graphs.
+	if cap(c.cursor) < c.n {
+		c.cursor = make([]int32, c.n)
+	} else {
+		c.cursor = c.cursor[:c.n]
+	}
+	cursor := c.cursor
+	copy(cursor, c.invOff[:c.n])
+	for i := 0; i < c.Len(); i++ {
+		for _, u := range c.arena[c.offsets[i]:c.offsets[i+1]] {
+			c.invArena[cursor[u]] = int32(i)
+			cursor[u]++
+		}
+	}
+	c.invValid = true
+}
+
+// SetsContaining returns the ids of RR sets that contain u (ascending).
+func (c *Collection) SetsContaining(u graph.NodeID) []int32 {
+	c.ensureIndex()
+	return c.invArena[c.invOff[u]:c.invOff[u+1]]
+}
+
+// CountContaining returns |{i : u ∈ R_i}| — the single-node coverage
+// CovR({u}) — without materializing the slice.
+func (c *Collection) CountContaining(u graph.NodeID) int {
+	c.ensureIndex()
+	return int(c.invOff[u+1] - c.invOff[u])
+}
+
+// Filter compacts the collection in place to the RR sets that are still
+// valid on res: exactly those whose nodes (root included) are all alive.
+// Conditioned on its root, a surviving set is distributed exactly as an
+// RR set of the current residual (the failed coins into deleted nodes are
+// the only outcomes excluded), so adaptive rounds may keep these sets and
+// only top up the shortfall (ADDATP/HATP round loop, oracle.RIS.Refresh
+// with SetReuse). The caveat is the root mix: roots whose sets tend to
+// survive are over-represented versus a uniform draw from the new alive
+// set, a tilt proportional to the fraction of the pool invalidated —
+// negligible for the small per-round deletions near the adaptive stopping
+// frontier, where reuse saves the most.
+//
+// Filter is keyed on res.Version(): if the residual has not changed since
+// the sets were drawn (or last filtered), it returns immediately. It
+// returns the number of surviving sets. Set ids change on compaction, so
+// any Marks over the collection must be discarded.
+func (c *Collection) Filter(res *graph.Residual) int {
+	if c.version == res.Version() {
+		return c.Len()
+	}
+	w := 0         // write cursor over sets
+	wa := int32(0) // write cursor over arena
+	for i := 0; i < c.Len(); i++ {
+		lo, hi := c.offsets[i], c.offsets[i+1]
+		alive := true
+		for _, u := range c.arena[lo:hi] {
+			if !res.Alive(u) {
+				alive = false
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		copy(c.arena[wa:wa+(hi-lo)], c.arena[lo:hi])
+		c.roots[w] = c.roots[i]
+		w++
+		wa += hi - lo
+		c.offsets[w] = wa
+	}
+	c.roots = c.roots[:w]
+	c.offsets = c.offsets[:w+1]
+	c.arena = c.arena[:wa]
+	c.invValid = false
+	c.scratch = nil // set ids changed; stale marks must not survive
+	c.version = res.Version()
+	c.requested = w
+	return w
+}

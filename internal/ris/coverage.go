@@ -6,64 +6,9 @@ import (
 	"repro/internal/graph"
 )
 
-// Collection is a set of RR sets with an inverted index from node to the
-// RR sets containing it, supporting the coverage queries of the paper:
-// CovR(S), marginal coverage CovR(u|S), and greedy max-coverage selection.
-//
-// A Collection is not safe for concurrent use: Cov routes through a
-// reusable internal mark buffer to stay allocation-free.
-type Collection struct {
-	n     int
-	sets  []*RRSet
-	index [][]int32 // node -> indices of RR sets containing it
-
-	// requested accumulates the θ values asked of the generators, so a
-	// shortfall (empty residual mid-generation) is observable instead of
-	// silently weakening the concentration guarantee.
-	requested int
-
-	scratch *Marks // lazily created buffer backing Cov
-}
-
-// NewCollection creates an empty collection over a graph with n nodes
-// (full node count; residual sampling still uses original IDs).
-func NewCollection(n int) *Collection {
-	return &Collection{n: n, index: make([][]int32, n)}
-}
-
-// Add appends one RR set and indexes its nodes.
-func (c *Collection) Add(rr *RRSet) {
-	id := int32(len(c.sets))
-	c.sets = append(c.sets, rr)
-	for _, u := range rr.Nodes {
-		c.index[u] = append(c.index[u], id)
-	}
-}
-
-// Len returns the number of RR sets actually held (the paper's θ as far as
-// estimates are concerned).
-func (c *Collection) Len() int { return len(c.sets) }
-
-// Requested returns the total number of RR sets the generators were asked
-// for. Requested > Len means some draws hit an empty residual.
-func (c *Collection) Requested() int { return c.requested }
-
-// Shortfall returns how many requested RR sets were never generated.
-func (c *Collection) Shortfall() int {
-	if d := c.requested - len(c.sets); d > 0 {
-		return d
-	}
-	return 0
-}
-
-// noteRequested records that theta RR sets were requested from a generator.
-func (c *Collection) noteRequested(theta int) { c.requested += theta }
-
-// Sets returns the underlying RR sets; read-only.
-func (c *Collection) Sets() []*RRSet { return c.sets }
-
-// SetsContaining returns the indices of RR sets that contain u.
-func (c *Collection) SetsContaining(u graph.NodeID) []int32 { return c.index[u] }
+// This file implements the coverage queries of the paper over a
+// Collection: CovR(S), marginal coverage CovR(u|S), and greedy
+// max-coverage selection (heap-based CELF).
 
 // Cov returns CovR(S): the number of RR sets intersecting S. It reuses an
 // internal mark buffer, so repeated queries allocate nothing after the
@@ -79,8 +24,10 @@ func (c *Collection) Cov(s []graph.NodeID) int {
 
 // Marks is a reusable coverage bitmap for incremental queries: mark the
 // RR sets covered by a base set once, then ask marginal coverages of many
-// candidate nodes in O(|index[u]|) each. Reset is O(1) via generation
-// stamps, so one Marks serves many queries without reallocation.
+// candidate nodes in O(|SetsContaining(u)|) each. Reset is O(1) via
+// generation stamps, so one Marks serves many queries without
+// reallocation. A Marks is invalidated by Collection.Filter (set ids are
+// compacted); create a fresh one afterwards.
 type Marks struct {
 	c     *Collection
 	stamp []uint32 // stamp[id] == gen means RR set id is covered
@@ -90,14 +37,14 @@ type Marks struct {
 
 // NewMarks creates an empty mark state over c.
 func (c *Collection) NewMarks() *Marks {
-	return &Marks{c: c, stamp: make([]uint32, len(c.sets)), gen: 1}
+	return &Marks{c: c, stamp: make([]uint32, c.Len()), gen: 1}
 }
 
 // Reset clears the mark state in O(1) (amortized; it grows the stamp array
 // if RR sets were added since creation and re-zeroes on generation wrap).
 func (m *Marks) Reset() {
-	if len(m.stamp) < len(m.c.sets) {
-		grown := make([]uint32, len(m.c.sets))
+	if len(m.stamp) < m.c.Len() {
+		grown := make([]uint32, m.c.Len())
 		copy(grown, m.stamp)
 		m.stamp = grown
 	}
@@ -118,7 +65,7 @@ func (m *Marks) Count() int { return m.count }
 // covered sets (the marginal coverage of u at the time of the call).
 func (m *Marks) Cover(u graph.NodeID) int {
 	gained := 0
-	for _, id := range m.c.index[u] {
+	for _, id := range m.c.SetsContaining(u) {
 		if m.stamp[id] != m.gen {
 			m.stamp[id] = m.gen
 			m.count++
@@ -139,7 +86,7 @@ func (m *Marks) CoverAll(s []graph.NodeID) {
 // that are not yet covered, without mutating the state.
 func (m *Marks) Marginal(u graph.NodeID) int {
 	gained := 0
-	for _, id := range m.c.index[u] {
+	for _, id := range m.c.SetsContaining(u) {
 		if m.stamp[id] != m.gen {
 			gained++
 		}
@@ -203,7 +150,7 @@ func (c *Collection) GreedyMaxCoverage(candidates []graph.NodeID, k int) ([]grap
 	m := c.NewMarks()
 	h := make(celfHeap, 0, len(candidates))
 	for _, u := range candidates {
-		h = append(h, celfEntry{node: u, gain: len(c.index[u]), round: 0})
+		h = append(h, celfEntry{node: u, gain: c.CountContaining(u), round: 0})
 	}
 	heap.Init(&h)
 	var chosen []graph.NodeID

@@ -1,0 +1,32 @@
+// Package ris implements Reverse Influence Sampling (Borgs et al., SODA
+// 2014): random reverse-reachable (RR) sets, the estimation backbone of
+// the paper's sampling algorithms — ADDATP (conf_icde_Huang0XSL20
+// Algorithm 3), HATP (Algorithm 4) — and of the nonadaptive baselines.
+//
+// An RR set R(v) for a uniformly random root v contains every node u that
+// reaches v in a random realization. The fundamental identity
+//
+//	E[I(S)] = n * Pr[R ∩ S ≠ ∅]
+//
+// turns coverage counting over a sample of RR sets into an unbiased spread
+// estimator. On residual graphs (the paper's G_i, §III), roots are drawn
+// uniformly from the n_i alive nodes and reverse traversal ignores dead
+// nodes, estimating E[I_{G_i}(S)] with the same identity scaled by n_i.
+//
+// The package is organized as:
+//
+//   - Sampler (ris.go): single-threaded RR-set generation on a residual
+//     view, with scratch reuse so a draw allocates only its arena append.
+//   - Collection (collection.go): CSR/arena storage — one flat node arena
+//     plus per-set offsets, and a lazily built CSR inverted index — so a
+//     collection is ~4 contiguous allocations regardless of θ.
+//     Collection.Filter compacts in place to the sets still valid on a
+//     mutated residual, enabling cross-round reuse: a set drawn on G_i
+//     that avoids every node deleted since remains a correctly
+//     distributed RR sample of G_j (j > i).
+//   - Coverage queries (coverage.go): CovR(S), incremental marginals via
+//     Marks, and heap-based CELF greedy max-coverage — the selection step
+//     of IMM (§VI-A) and the nonadaptive greedy baseline.
+//   - AppendParallel / GenerateParallel (parallel.go): deterministic
+//     multi-worker generation that can top up an existing collection.
+package ris

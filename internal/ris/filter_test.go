@@ -1,0 +1,192 @@
+package ris
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// snapshotSets copies every RR set out of c (roots + nodes) so a later
+// in-place Filter can be cross-checked against a brute-force rescan.
+func snapshotSets(c *Collection) []*RRSet {
+	out := make([]*RRSet, c.Len())
+	for i := range out {
+		nodes := make([]graph.NodeID, len(c.SetNodes(i)))
+		copy(nodes, c.SetNodes(i))
+		out[i] = &RRSet{Root: c.Root(i), Nodes: nodes}
+	}
+	return out
+}
+
+// surviving returns the subsequence of sets avoiding every dead node,
+// the brute-force definition Filter must match exactly.
+func surviving(sets []*RRSet, res *graph.Residual) []*RRSet {
+	var out []*RRSet
+	for _, rr := range sets {
+		ok := true
+		for _, u := range rr.Nodes {
+			if !res.Alive(u) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// TestFilterKeepsExactlyValidSets: after node deletions, Filter must keep
+// exactly the RR sets avoiding deleted nodes, in their original order,
+// with contents intact — cross-checked against a brute-force rescan on
+// both the worked example and a randomized graph.
+func TestFilterKeepsExactlyValidSets(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		g      *graph.Graph
+		remove []graph.NodeID
+	}{
+		{"fig1", fig1Graph(), []graph.NodeID{2, 5}},
+		{"random", nil, []graph.NodeID{0, 3, 17, 42}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			if g == nil {
+				g = randomGraph(t)
+			}
+			res := graph.NewResidual(g)
+			s := NewSampler(res, cascade.IC, rng.New(5))
+			c := s.Generate(2000)
+			before := snapshotSets(c)
+
+			res.RemoveAll(tc.remove)
+			want := surviving(before, res)
+			kept := c.Filter(res)
+
+			if kept != len(want) || c.Len() != len(want) {
+				t.Fatalf("Filter kept %d (Len %d), brute force %d", kept, c.Len(), len(want))
+			}
+			for i, rr := range want {
+				if c.Root(i) != rr.Root {
+					t.Fatalf("kept set %d root %d, want %d", i, c.Root(i), rr.Root)
+				}
+				nodes := c.SetNodes(i)
+				if len(nodes) != len(rr.Nodes) {
+					t.Fatalf("kept set %d length %d, want %d", i, len(nodes), len(rr.Nodes))
+				}
+				for j := range nodes {
+					if nodes[j] != rr.Nodes[j] {
+						t.Fatalf("kept set %d node %d: %d, want %d", i, j, nodes[j], rr.Nodes[j])
+					}
+				}
+			}
+			// The rebuilt inverted index must agree: no deleted node may
+			// index anything, and coverage matches a brute-force count.
+			for _, u := range tc.remove {
+				if got := c.CountContaining(u); got != 0 {
+					t.Fatalf("deleted node %d still in %d sets", u, got)
+				}
+			}
+			alive := res.AliveNodes()
+			for _, u := range alive[:min(10, len(alive))] {
+				wantCov := 0
+				for _, rr := range want {
+					for _, v := range rr.Nodes {
+						if v == u {
+							wantCov++
+							break
+						}
+					}
+				}
+				if got := c.Cov([]graph.NodeID{u}); got != wantCov {
+					t.Fatalf("Cov({%d}) = %d after filter, want %d", u, got, wantCov)
+				}
+			}
+		})
+	}
+}
+
+// TestFilterVersionTracking: Filter is keyed on Residual.Version — an
+// unchanged residual is a no-op, every mutation triggers exactly one
+// rescan, and the collection's version follows the residual's.
+func TestFilterVersionTracking(t *testing.T) {
+	g := fig1Graph()
+	res := graph.NewResidual(g)
+	s := NewSampler(res, cascade.IC, rng.New(9))
+	c := s.Generate(500)
+	if c.Version() != res.Version() {
+		t.Fatalf("generated collection version %d, residual %d", c.Version(), res.Version())
+	}
+
+	// No mutation: Filter must keep everything (and not rescan — observable
+	// through the version staying put even though nothing changed).
+	if kept := c.Filter(res); kept != 500 || c.Len() != 500 {
+		t.Fatalf("no-op filter kept %d/%d", kept, c.Len())
+	}
+
+	res.Remove(2)
+	kept1 := c.Filter(res)
+	if c.Version() != res.Version() {
+		t.Fatalf("after filter version %d, residual %d", c.Version(), res.Version())
+	}
+	if kept1 == 500 {
+		t.Fatal("removing a fig1 hub invalidated no sets; test graph too weak")
+	}
+	// Filtering again at the same version is a no-op returning Len.
+	if kept := c.Filter(res); kept != kept1 {
+		t.Fatalf("repeat filter kept %d, want %d", kept, kept1)
+	}
+
+	// A second mutation compacts further (monotone under more deletions).
+	res.Remove(4)
+	kept2 := c.Filter(res)
+	if kept2 > kept1 {
+		t.Fatalf("more deletions kept more sets: %d then %d", kept1, kept2)
+	}
+
+	// Requested tracks the surviving count after a filter, so a top-up to
+	// a new θ target leaves shortfall accounting consistent.
+	s2 := NewSampler(res, cascade.IC, rng.New(10))
+	s2.AppendTo(c, 800-c.Len())
+	if c.Len() != 800 || c.Requested() != 800 || c.Shortfall() != 0 {
+		t.Fatalf("after top-up len=%d requested=%d shortfall=%d, want 800/800/0",
+			c.Len(), c.Requested(), c.Shortfall())
+	}
+	// Topped-up sets were drawn on the current residual: still all valid.
+	if kept := c.Filter(res); kept != 800 {
+		t.Fatalf("filter after top-up kept %d, want 800", kept)
+	}
+}
+
+// TestFilterInvalidatesScratchMarks: Cov must answer correctly after a
+// Filter compacts set ids out from under the internal scratch buffer.
+func TestFilterInvalidatesScratchMarks(t *testing.T) {
+	g := fig1Graph()
+	res := graph.NewResidual(g)
+	c := NewSampler(res, cascade.IC, rng.New(11)).Generate(1000)
+	_ = c.Cov([]graph.NodeID{1}) // materialize scratch over 1000 sets
+	res.Remove(2)
+	c.Filter(res)
+	want := 0
+	for i := 0; i < c.Len(); i++ {
+		for _, v := range c.SetNodes(i) {
+			if v == 1 {
+				want++
+				break
+			}
+		}
+	}
+	if got := c.Cov([]graph.NodeID{1}); got != want {
+		t.Fatalf("Cov after filter %d, want %d", got, want)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -9,62 +9,78 @@ import (
 	"repro/internal/rng"
 )
 
-// GenerateParallel draws theta RR sets using up to workers goroutines and
-// merges them into one Collection. Each worker owns a Split() substream of
-// parent, so the union of generated sets is a deterministic function of
-// (parent state, theta, workers) regardless of scheduling; the merge order
-// is by worker index, keeping the collection layout reproducible too.
+// chunk is one worker's output: a local arena with per-set lengths,
+// spliced into the destination collection in worker order.
+type chunk struct {
+	arena []graph.NodeID
+	lens  []int32
+	roots []graph.NodeID
+}
+
+// AppendParallel draws count RR sets using up to workers goroutines and
+// appends them to c. Each worker owns a Split() substream of parent, so
+// the appended sets are a deterministic function of (parent state, count,
+// workers) regardless of scheduling; chunks merge in worker order, keeping
+// the arena layout reproducible too.
 //
 // workers <= 0 means GOMAXPROCS. The residual view is shared read-only;
 // callers must not mutate it during generation.
-func GenerateParallel(res *graph.Residual, model cascade.Model, parent *rng.RNG, theta, workers int) *Collection {
+func AppendParallel(c *Collection, res *graph.Residual, model cascade.Model, parent *rng.RNG, count, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > theta {
-		workers = theta
+	if workers > count {
+		workers = count
 	}
 	if workers <= 1 {
 		s := NewSampler(res, model, parent.Split())
-		return s.Generate(theta)
+		s.AppendTo(c, count)
+		return
 	}
 	// Deterministic per-worker quotas and streams.
 	quota := make([]int, workers)
 	for i := 0; i < workers; i++ {
-		quota[i] = theta / workers
+		quota[i] = count / workers
 	}
-	for i := 0; i < theta%workers; i++ {
+	for i := 0; i < count%workers; i++ {
 		quota[i]++
 	}
 	streams := make([]*rng.RNG, workers)
 	for i := range streams {
 		streams[i] = parent.Split()
 	}
-	results := make([][]*RRSet, workers)
+	results := make([]chunk, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			s := NewSampler(res, model, streams[w])
-			sets := make([]*RRSet, 0, quota[w])
+			var ck chunk
 			for i := 0; i < quota[w]; i++ {
-				rr := s.Draw()
-				if rr == nil {
+				root, ok := s.drawTouched()
+				if !ok {
 					break
 				}
-				sets = append(sets, rr)
+				ck.arena = append(ck.arena, s.touched...)
+				ck.lens = append(ck.lens, int32(len(s.touched)))
+				ck.roots = append(ck.roots, root)
 			}
-			results[w] = sets
+			results[w] = ck
 		}(w)
 	}
 	wg.Wait()
-	c := NewCollection(res.FullN())
-	c.noteRequested(theta)
-	for _, sets := range results {
-		for _, rr := range sets {
-			c.Add(rr)
-		}
+	c.noteRequested(count)
+	c.noteVersion(res.Version())
+	for _, ck := range results {
+		c.appendBulk(ck.arena, ck.lens, ck.roots)
 	}
+}
+
+// GenerateParallel draws theta RR sets into a new Collection using up to
+// workers goroutines. See AppendParallel for the determinism contract.
+func GenerateParallel(res *graph.Residual, model cascade.Model, parent *rng.RNG, theta, workers int) *Collection {
+	c := NewCollection(res.FullN())
+	AppendParallel(c, res, model, parent, theta, workers)
 	return c
 }

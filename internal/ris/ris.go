@@ -1,16 +1,3 @@
-// Package ris implements Reverse Influence Sampling (Borgs et al., SODA
-// 2014): random reverse-reachable (RR) sets, the estimation backbone of
-// ADDATP, HATP and the nonadaptive baselines.
-//
-// An RR set R(v) for a uniformly random root v contains every node u that
-// reaches v in a random realization. The fundamental identity
-//
-//	E[I(S)] = n * Pr[R ∩ S ≠ ∅]
-//
-// turns coverage counting over a sample of RR sets into an unbiased spread
-// estimator. On residual graphs, roots are drawn uniformly from the n_i
-// alive nodes and reverse traversal ignores dead nodes, estimating
-// E[I_{G_i}(S)] with the same identity scaled by n_i.
 package ris
 
 import (
@@ -20,7 +7,8 @@ import (
 )
 
 // RRSet is one reverse-reachable set: the nodes that reach Root under one
-// sampled realization, Root included.
+// sampled realization, Root included. Collections store sets unboxed in a
+// flat arena; RRSet is the boxed form for single-draw callers and tests.
 type RRSet struct {
 	Root  graph.NodeID
 	Nodes []graph.NodeID
@@ -66,19 +54,20 @@ func (s *Sampler) refreshAlive() {
 	s.aliveVersion = s.res.Version()
 }
 
-// Draw samples one RR set. It returns nil if no node is alive.
+// drawTouched samples one RR set into the s.touched scratch buffer and
+// returns its root. ok is false when no node is alive. The buffer is only
+// valid until the next draw.
 //
 // Under IC, each in-edge (u,v) is traversed (reverse direction) with its
 // probability, coins drawn lazily — equivalent to sampling a realization
 // and collecting the nodes that reach the root, but only exploring the
 // reverse cone. Under LT, each visited node picks at most one in-parent.
-func (s *Sampler) Draw() *RRSet {
+func (s *Sampler) drawTouched() (root graph.NodeID, ok bool) {
 	s.refreshAlive()
 	if len(s.aliveList) == 0 {
-		return nil
+		return 0, false
 	}
-	root := s.aliveList[s.r.Intn(len(s.aliveList))]
-	set := &RRSet{Root: root}
+	root = s.aliveList[s.r.Intn(len(s.aliveList))]
 	s.stack = s.stack[:0]
 	s.touched = s.touched[:0]
 
@@ -115,13 +104,39 @@ func (s *Sampler) Draw() *RRSet {
 			}
 		}
 	}
-	set.Nodes = make([]graph.NodeID, len(s.touched))
-	copy(set.Nodes, s.touched)
 	// Clear scratch for the next draw.
 	for _, u := range s.touched {
 		s.visited[u] = false
 	}
+	return root, true
+}
+
+// Draw samples one RR set into a freshly allocated RRSet. It returns nil
+// if no node is alive. Bulk generation should go through Generate /
+// AppendTo, which write into a Collection's arena without boxing.
+func (s *Sampler) Draw() *RRSet {
+	root, ok := s.drawTouched()
+	if !ok {
+		return nil
+	}
+	set := &RRSet{Root: root, Nodes: make([]graph.NodeID, len(s.touched))}
+	copy(set.Nodes, s.touched)
 	return set
+}
+
+// AppendTo draws up to count RR sets directly into c's arena, stopping
+// early if the residual empties. The requested count is recorded on c so
+// shortfalls stay observable.
+func (s *Sampler) AppendTo(c *Collection, count int) {
+	c.noteRequested(count)
+	c.noteVersion(s.res.Version())
+	for i := 0; i < count; i++ {
+		root, ok := s.drawTouched()
+		if !ok {
+			return
+		}
+		c.AddSet(root, s.touched)
+	}
 }
 
 // Generate draws theta RR sets into a new Collection. If the residual has
@@ -130,13 +145,6 @@ func (s *Sampler) Draw() *RRSet {
 // theta sets exist.
 func (s *Sampler) Generate(theta int) *Collection {
 	c := NewCollection(s.res.FullN())
-	c.noteRequested(theta)
-	for i := 0; i < theta; i++ {
-		rr := s.Draw()
-		if rr == nil {
-			break
-		}
-		c.Add(rr)
-	}
+	s.AppendTo(c, theta)
 	return c
 }

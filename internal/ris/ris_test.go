@@ -175,9 +175,9 @@ func TestCovBruteForceProperty(t *testing.T) {
 		}
 		// Brute force: count RR sets intersecting the set.
 		want := 0
-		for _, rr := range c.Sets() {
+		for i := 0; i < c.Len(); i++ {
 			hit := false
-			for _, u := range rr.Nodes {
+			for _, u := range c.SetNodes(i) {
 				for _, v := range set {
 					if u == v {
 						hit = true
@@ -287,13 +287,13 @@ func TestGenerateParallelDeterministic(t *testing.T) {
 	if a.Len() != b.Len() {
 		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
 	}
-	for i := range a.Sets() {
-		sa, sb := a.Sets()[i], b.Sets()[i]
-		if sa.Root != sb.Root || len(sa.Nodes) != len(sb.Nodes) {
+	for i := 0; i < a.Len(); i++ {
+		na, nb := a.SetNodes(i), b.SetNodes(i)
+		if a.Root(i) != b.Root(i) || len(na) != len(nb) {
 			t.Fatalf("set %d differs", i)
 		}
-		for j := range sa.Nodes {
-			if sa.Nodes[j] != sb.Nodes[j] {
+		for j := range na {
+			if na[j] != nb[j] {
 				t.Fatalf("set %d node %d differs", i, j)
 			}
 		}
