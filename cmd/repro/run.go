@@ -78,7 +78,12 @@ type resultRow struct {
 	// realization reached. Both are deterministic for a fixed seed.
 	RRReused    int64 `json:"rr_reused"`
 	RRPeakBytes int64 `json:"rr_peak_bytes"`
-	Fallbacks   int   `json:"fallbacks"`
+	// SamplingMS is the wall time spent inside RR generation across all
+	// realizations; RRPerSec = RRDrawn / that time is the sampling
+	// throughput, the number BENCH files track across PRs.
+	SamplingMS int64   `json:"sampling_ms"`
+	RRPerSec   float64 `json:"rr_per_sec"`
+	Fallbacks  int     `json:"fallbacks"`
 
 	ImmTheta          int   `json:"imm_theta"`
 	ImmThetaRequested int   `json:"imm_theta_requested"`
@@ -167,6 +172,8 @@ func execute(cfg runConfig, p *preparedInstance) (*resultRow, error) {
 		RRRequested:       rep.RRRequested,
 		RRReused:          rep.RRReused,
 		RRPeakBytes:       rep.RRPeakBytes,
+		SamplingMS:        rep.SamplingNS / 1e6,
+		RRPerSec:          rrPerSec(rep.RRDrawn, rep.SamplingNS),
 		Fallbacks:         rep.Fallbacks,
 		ImmTheta:          immRes.Theta,
 		ImmThetaRequested: immRes.ThetaRequested,
@@ -214,6 +221,15 @@ func cmdRun(args []string) error {
 	}
 	warnShortfall(row)
 	return json.NewEncoder(os.Stdout).Encode(row)
+}
+
+// rrPerSec converts drawn RR sets and sampling wall time into a
+// throughput; zero when no time was recorded (exact-oracle runs).
+func rrPerSec(drawn, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(drawn) / (float64(ns) / 1e9)
 }
 
 // warnShortfall surfaces RR-set generation shortfalls on stderr so a

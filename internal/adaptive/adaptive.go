@@ -89,6 +89,9 @@ type RunResult struct {
 	// RRPeakBytes is the largest heap footprint of the RR collection
 	// (arena + offsets + roots + inverted index); deterministic per seed.
 	RRPeakBytes int64 `json:"rr_peak_bytes"`
+	// SamplingNS is the wall time spent inside RR-set generation calls;
+	// RRDrawn/SamplingNS is the run's RR throughput.
+	SamplingNS int64 `json:"sampling_ns"`
 	// Fallbacks counts rounds where the refinement budget ran out and the
 	// decision fell back to the point estimate (sampling policies only).
 	Fallbacks int `json:"fallbacks"`

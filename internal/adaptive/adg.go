@@ -50,6 +50,7 @@ func RunADG(inst *Instance, env *Environment, orc oracle.Oracle) (*RunResult, er
 		r.RRRequested = ris.TotalRequested()
 		r.RRReused = ris.TotalReused()
 		r.RRPeakBytes = ris.PeakRRBytes()
+		r.SamplingNS = ris.SamplingNS()
 	}
 	return r, nil
 }

@@ -98,6 +98,7 @@ type Report struct {
 	RRRequested  int64   `json:"rr_requested"`
 	RRReused     int64   `json:"rr_reused"`
 	RRPeakBytes  int64   `json:"rr_peak_bytes"` // max over realizations
+	SamplingNS   int64   `json:"sampling_ns"`   // total across realizations
 	Fallbacks    int     `json:"fallbacks"`
 	Runs         []*RunResult
 }
@@ -126,6 +127,7 @@ func RunExperiment(inst *Instance, algo string, realizations int, opts RunOption
 		rep.RRDrawn += run.RRDrawn
 		rep.RRRequested += run.RRRequested
 		rep.RRReused += run.RRReused
+		rep.SamplingNS += run.SamplingNS
 		if run.RRPeakBytes > rep.RRPeakBytes {
 			rep.RRPeakBytes = run.RRPeakBytes
 		}

@@ -2,6 +2,7 @@ package adaptive
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/ris"
@@ -26,17 +27,19 @@ func RunAllTargets(inst *Instance, env *Environment) (*RunResult, error) {
 // with the largest estimated marginal profit n·CovR(u|S)/θ − c(u),
 // stopping when no remaining target's estimated marginal profit is
 // positive. theta is the RR sample size.
-func NonadaptiveGreedySelect(inst *Instance, theta int, r *rng.RNG, workers int) ([]graph.NodeID, *ris.Collection, error) {
+func NonadaptiveGreedySelect(inst *Instance, theta int, r *rng.RNG, workers int) ([]graph.NodeID, *ris.Collection, int64, error) {
 	if err := inst.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if theta <= 0 {
-		return nil, nil, fmt.Errorf("adaptive: nonadaptive greedy needs theta > 0, got %d", theta)
+		return nil, nil, 0, fmt.Errorf("adaptive: nonadaptive greedy needs theta > 0, got %d", theta)
 	}
 	res := graph.NewResidual(inst.G)
+	start := time.Now()
 	col := ris.GenerateParallel(res, inst.Model, r, theta, workers)
+	samplingNS := time.Since(start).Nanoseconds()
 	if col.Len() == 0 {
-		return nil, col, nil
+		return nil, col, samplingNS, nil
 	}
 	n := float64(inst.G.N())
 	perCov := n / float64(col.Len()) // spread per newly covered RR set
@@ -59,13 +62,13 @@ func NonadaptiveGreedySelect(inst *Instance, theta int, r *rng.RNG, workers int)
 		chosen = append(chosen, remaining[best])
 		remaining = append(remaining[:best], remaining[best+1:]...)
 	}
-	return chosen, col, nil
+	return chosen, col, samplingNS, nil
 }
 
 // RunNonadaptiveGreedy selects a seed set with NonadaptiveGreedySelect and
 // evaluates it on env's realization.
 func RunNonadaptiveGreedy(inst *Instance, env *Environment, theta int, r *rng.RNG, workers int) (*RunResult, error) {
-	chosen, col, err := NonadaptiveGreedySelect(inst, theta, r, workers)
+	chosen, col, samplingNS, err := NonadaptiveGreedySelect(inst, theta, r, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +80,7 @@ func RunNonadaptiveGreedy(inst *Instance, env *Environment, theta int, r *rng.RN
 		result.RRDrawn = int64(col.Len())
 		result.RRRequested = int64(col.Requested())
 		result.RRPeakBytes = col.Bytes()
+		result.SamplingNS = samplingNS
 	}
 	return result, nil
 }

@@ -2,6 +2,7 @@ package adaptive
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/ris"
@@ -102,8 +103,12 @@ func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOpti
 	var seeds []graph.NodeID
 	var alive []graph.NodeID
 	fallbacks := 0
-	var drawn, requested, reused, peakBytes int64
+	var drawn, requested, reused, peakBytes, samplingNS int64
 	var col *ris.Collection
+	// One persistent sampler pool serves every attempt of every round:
+	// per-worker scratch (visited marks, stacks, chunks) survives across
+	// the run instead of being reallocated per generation call.
+	pool := ris.NewSamplerPool(inst.Model)
 
 	for {
 		res := env.Residual()
@@ -120,7 +125,14 @@ func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOpti
 				return nil, fmt.Errorf("adaptive: %s round %d: %w", reg.name(), len(seeds)+1, err)
 			}
 			if opts.NoReuse || col == nil {
-				col = ris.GenerateParallel(res, inst.Model, r.Split(), theta, opts.Workers)
+				if col == nil {
+					col = ris.NewCollection(res.FullN())
+				} else {
+					col.Reset() // fresh θ, warm storage
+				}
+				start := time.Now()
+				pool.AppendParallel(col, res, r.Split(), theta, opts.Workers)
+				samplingNS += time.Since(start).Nanoseconds()
 				drawn += int64(col.Len())
 				requested += int64(col.Requested())
 			} else {
@@ -131,7 +143,9 @@ func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOpti
 				reused += int64(kept)
 				if shortfall := theta - col.Len(); shortfall > 0 {
 					before := col.Len()
-					ris.AppendParallel(col, res, inst.Model, r.Split(), shortfall, opts.Workers)
+					start := time.Now()
+					pool.AppendParallel(col, res, r.Split(), shortfall, opts.Workers)
+					samplingNS += time.Since(start).Nanoseconds()
 					drawn += int64(col.Len() - before)
 					requested += int64(shortfall)
 				}
@@ -199,6 +213,7 @@ func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOpti
 	result.RRRequested = requested
 	result.RRReused = reused
 	result.RRPeakBytes = peakBytes
+	result.SamplingNS = samplingNS
 	result.Fallbacks = fallbacks
 	return result, nil
 }

@@ -90,6 +90,17 @@ func sampleLT(g *graph.Graph, r *rng.RNG) *Realization {
 	pickedFrom := make([]graph.NodeID, n)
 	for v := 0; v < n; v++ {
 		pickedFrom[v] = -1
+		if srcs, p, ok := g.InNeighborsUniform(graph.NodeID(v)); ok {
+			// Uniform in-probability: the prefix scan inverts to one
+			// division (rng.PrefixPick, shared with the reverse sampler).
+			if len(srcs) == 0 {
+				continue
+			}
+			if idx := r.PrefixPick(p, len(srcs)); idx >= 0 {
+				pickedFrom[v] = srcs[idx]
+			}
+			continue
+		}
 		srcs, ps := g.InNeighbors(graph.NodeID(v))
 		x := r.Float64()
 		acc := 0.0

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -171,7 +172,131 @@ func (b *Builder) Build() *Graph {
 		g.inP[pos] = e.P
 		cursor[e.To]++
 	}
+	g.compressInProbs()
 	return g
+}
+
+// compressInProbs switches the in-probability storage from per-edge to
+// per-node when every node's in-edges share one probability — always the
+// case for ApplyWeightedCascade (p = 1/indeg(v)) and
+// ApplyUniformProbability. The per-edge array is dropped (8 bytes per edge
+// -> 8 bytes per node; ~550 MB on livejournal-s's 69M edges) and
+// success-count sampling tables are precomputed so RR-set samplers can
+// draw a node's successful in-edge count in O(1) instead of one coin per
+// edge. Mixed-probability graphs (trivalency) keep per-edge storage.
+func (g *Graph) compressInProbs() {
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.inIdx[v], g.inIdx[v+1]
+		for i := lo + 1; i < hi; i++ {
+			if g.inP[i] != g.inP[lo] {
+				return // mixed probabilities: keep the per-edge fallback
+			}
+		}
+	}
+	g.inProb = make([]float64, g.n)
+	g.inTabOff = make([]int32, g.n)
+	type tabKey struct {
+		deg int64
+		p   float64
+	}
+	cache := make(map[tabKey]int32)
+	for v := int32(0); v < g.n; v++ {
+		lo, hi := g.inIdx[v], g.inIdx[v+1]
+		g.inTabOff[v] = -1
+		if hi == lo {
+			continue
+		}
+		p := g.inP[lo]
+		g.inProb[v] = p
+		if p >= 1 {
+			continue // samplers special-case certain edges; no table needed
+		}
+		key := tabKey{deg: hi - lo, p: p}
+		if off, ok := cache[key]; ok {
+			g.inTabOff[v] = off
+			continue
+		}
+		off := int32(-1)
+		if thr := binomialThresholds(int(hi-lo), p); thr != nil {
+			off = int32(len(g.inTabThr))
+			g.inTabThr = append(g.inTabThr, thr...)
+		}
+		cache[key] = off
+		g.inTabOff[v] = off
+	}
+	g.inP = nil
+	g.uniformIn = true
+	if g.m <= math.MaxInt32 {
+		g.inMeta = make([]InMeta, g.n)
+		for v := int32(0); v < g.n; v++ {
+			m := InMeta{
+				Start:  int32(g.inIdx[v]),
+				Deg:    int32(g.inIdx[v+1] - g.inIdx[v]),
+				TabOff: g.inTabOff[v],
+			}
+			switch {
+			case m.TabOff >= 0:
+				m.Thr0 = g.inTabThr[m.TabOff]
+			case m.Deg == 0:
+				m.Thr0 = ^uint32(0) // every clamped draw ends the visit
+			default:
+				m.Thr0 = 0 // certain edges / no table: dedicated expansion
+			}
+			g.inMeta[v] = m
+		}
+	}
+}
+
+// maxCountTable bounds one success-count table (sentinel included). The
+// truncated cumulative Binomial(d, p) needs ~d·p + O(sqrt(d·p)) entries
+// before the residual mass falls under the 2^-32 quantization, so the
+// weighted-cascade regime (d·p = 1) always fits; a node whose table would
+// exceed the cap gets none and samplers fall back to geometric jumps.
+const maxCountTable = 64
+
+// binomialThresholds builds the truncated cumulative Binomial(d, p)
+// threshold table described at InCountThresholds, or nil when it would
+// exceed maxCountTable entries.
+func binomialThresholds(d int, p float64) []uint32 {
+	const residualCut = 1 - 1.0/(1<<33) // mass below the uint32 quantization
+	q := 1 - p
+	ratio := p / q
+	pk := math.Pow(q, float64(d)) // P(K = 0)
+	cum := pk
+	thr := make([]uint32, 1, 16)
+	thr[0] = scaleThreshold(cum)
+	for k := 0; cum < residualCut && k < d; k++ {
+		if len(thr) == maxCountTable-1 {
+			return nil
+		}
+		pk *= float64(d-k) / float64(k+1) * ratio
+		cum += pk
+		thr = append(thr, scaleThreshold(cum))
+	}
+	// The final reachable count absorbs the truncated tail: overwrite its
+	// threshold with the sentinel terminator.
+	thr[len(thr)-1] = ^uint32(0)
+	// Pad to at least five entries so samplers that resolved "some
+	// success" on the cached first threshold can compare the next four
+	// branchlessly; padding sentinels never match a (clamped) draw, so
+	// they contribute zero to the count.
+	for len(thr) < 5 {
+		thr = append(thr, ^uint32(0))
+	}
+	return thr
+}
+
+// scaleThreshold maps a cumulative probability to its uint32 threshold,
+// saturating below the ^uint32(0) sentinel.
+func scaleThreshold(cum float64) uint32 {
+	if cum <= 0 {
+		return 0
+	}
+	v := uint64(cum * (1 << 32))
+	if v >= 1<<32-1 {
+		v = 1<<32 - 2
+	}
+	return uint32(v)
 }
 
 // FromEdges is a convenience constructor for tests and examples.

@@ -3,17 +3,31 @@
 //
 // A Graph is an immutable compressed-sparse-row (CSR) structure holding
 // both out-adjacency (used by forward cascades) and in-adjacency (used by
-// reverse-reachable-set sampling). Each directed edge carries an influence
+// reverse-reachable-set sampling), with adjacency sorted per node so edge
+// lookups binary-search. Each directed edge carries an influence
 // probability p(e) in (0, 1], matching the Independent Cascade model of
 // Kempe et al. that the paper builds on.
 //
+// In-probability storage is dual. Build detects when every node's
+// in-edges share one probability — always true for the paper's
+// weighted-cascade weighting p(u,v) = 1/indeg(v) and for uniform edge
+// probabilities — and then compresses the per-edge array into a per-node
+// one (InUniform / InNeighborsUniform): 8 bytes per node instead of per
+// edge, ~550 MB less on livejournal-s's 69M edges. Compression also
+// precomputes per-node success-count tables (InCountThresholds) and
+// packed sampler metadata (InSamplerTables) that let RR-set samplers draw
+// a node's successful in-edge count in O(1). Mixed-probability graphs
+// (trivalency) keep the per-edge fallback and the accessor-based API.
+//
 // Mutation happens only through Builder; once built, a Graph is safe for
 // concurrent readers. Residual graphs (the paper's G_i) are lightweight
-// mask-based views provided by the Residual type.
+// views provided by the Residual type, which maintains its alive-node
+// list incrementally for O(1) uniform root sampling.
 package graph
 
 import (
 	"fmt"
+	"sort"
 )
 
 // NodeID identifies a node. Nodes are dense integers in [0, N).
@@ -39,12 +53,50 @@ type Graph struct {
 	outP   []float64
 
 	// In-adjacency: edges entering node v occupy
-	// inAdj[inIdx[v]:inIdx[v+1]] (the sources), probabilities in inP.
-	inIdx []int64
-	inAdj []NodeID
-	inP   []float64
+	// inAdj[inIdx[v]:inIdx[v+1]] (the sources). Probability storage is
+	// dual: when every node's in-edges share one probability (always true
+	// for weighted-cascade and ApplyUniformProbability weightings) the
+	// per-edge inP is dropped and a single per-node inProb is kept instead
+	// — 8 bytes per node instead of 8 bytes per edge, which is what lets
+	// livejournal-scale in-adjacency fit in memory. Mixed-probability
+	// graphs (trivalency) keep the per-edge inP fallback.
+	inIdx     []int64
+	inAdj     []NodeID
+	inP       []float64 // per-edge; nil when uniformIn
+	inProb    []float64 // per-node shared probability; nil unless uniformIn
+	uniformIn bool
+
+	// Success-count sampling tables for uniform in-probability nodes:
+	// inTabThr[inTabOff[v]:] is a truncated cumulative Binomial(indeg(v),
+	// inProb[v]) threshold table (see InCountThresholds). Nodes with the
+	// same (degree, probability) pair share one table.
+	inTabOff []int32
+	inTabThr []uint32
+
+	// inMeta packs the per-node fast-path metadata (adjacency start,
+	// degree, table offset) into one cache line's worth of struct, so an
+	// RR sampler visit costs one random load instead of three. Built only
+	// when the edge count fits the int32 start offsets.
+	inMeta []InMeta
 
 	directed bool
+}
+
+// InMeta is the packed per-node reverse-sampling metadata: node v's
+// in-neighbors occupy arena[Start:Start+Deg] of the slice returned by
+// InSamplerTables, and its success-count table starts at thr[TabOff]
+// (TabOff < 0 when v has no table). Thr0 caches the table's first
+// threshold so the most common visit outcome — zero successful in-edges —
+// resolves on this struct alone: it is thr[TabOff] for table nodes, the
+// sentinel for zero-degree nodes (every clamped draw lands below it, so
+// the visit ends immediately), and 0 for table-less nodes so every draw
+// falls through to their dedicated expansion. The 16-byte stride keeps an
+// element inside one cache line and indexing a shift.
+type InMeta struct {
+	Start  int32
+	Deg    int32
+	TabOff int32
+	Thr0   uint32
 }
 
 // N returns the number of nodes.
@@ -79,11 +131,69 @@ func (g *Graph) OutNeighbors(u NodeID) ([]NodeID, []float64) {
 }
 
 // InNeighbors returns the sources of edges entering v and their
-// probabilities. The returned slices alias internal storage and must not
-// be modified.
+// probabilities. With per-edge storage both slices alias internal arrays
+// and must not be modified; with compressed per-node storage (InUniform)
+// the probability slice is materialized on every call, so hot paths must
+// go through InNeighborsUniform instead.
 func (g *Graph) InNeighbors(v NodeID) ([]NodeID, []float64) {
 	lo, hi := g.inIdx[v], g.inIdx[v+1]
-	return g.inAdj[lo:hi], g.inP[lo:hi]
+	if !g.uniformIn {
+		return g.inAdj[lo:hi], g.inP[lo:hi]
+	}
+	ps := make([]float64, hi-lo)
+	p := g.inProb[v]
+	for i := range ps {
+		ps[i] = p
+	}
+	return g.inAdj[lo:hi], ps
+}
+
+// InUniform reports whether the graph stores one shared in-probability per
+// node (compressed storage) instead of one per edge. True for the paper's
+// weighted-cascade weighting p(u,v) = 1/indeg(v) and for uniform edge
+// probabilities; false for trivalency-style mixed weightings.
+func (g *Graph) InUniform() bool { return g.uniformIn }
+
+// InNeighborsUniform returns the sources of edges entering v together with
+// the single probability all of them share, when the graph stores
+// compressed in-probabilities. ok is false on per-edge storage and callers
+// must fall back to InNeighbors. The source slice aliases internal storage.
+func (g *Graph) InNeighborsUniform(v NodeID) ([]NodeID, float64, bool) {
+	if !g.uniformIn {
+		return nil, 0, false
+	}
+	lo, hi := g.inIdx[v], g.inIdx[v+1]
+	return g.inAdj[lo:hi], g.inProb[v], true
+}
+
+// InCountThresholds returns the success-count sampling table of node v, or
+// nil when the graph stores per-edge probabilities or no table was built
+// for v's (degree, probability) pair. The table encodes the cumulative
+// Binomial(indeg(v), inProb(v)) distribution as uint32 thresholds scaled
+// by 2^32 and terminated by a ^uint32(0) sentinel: drawing one Uint32 u
+// and scanning for the first non-sentinel entry > u yields the number of
+// successful in-edges in one RNG draw (RR-set samplers then place that
+// many successes uniformly, which is distributionally equivalent to one
+// independent coin per edge up to the 2^-32 quantization of the table).
+func (g *Graph) InCountThresholds(v NodeID) []uint32 {
+	if g.inTabOff == nil {
+		return nil
+	}
+	off := g.inTabOff[v]
+	if off < 0 {
+		return nil
+	}
+	return g.inTabThr[off:]
+}
+
+// InSamplerTables exposes the packed fast-path arrays for bulk RR
+// samplers: per-node metadata, the shared in-adjacency arena, and the
+// success-count threshold arena. meta is nil when the graph stores
+// per-edge in-probabilities or is too large for int32 adjacency offsets;
+// callers must then use the accessor-based API. All three slices are
+// read-only views of internal storage.
+func (g *Graph) InSamplerTables() (meta []InMeta, arena []NodeID, thr []uint32) {
+	return g.inMeta, g.inAdj, g.inTabThr
 }
 
 // Edges returns a copy of all directed edges in deterministic
@@ -101,13 +211,14 @@ func (g *Graph) Edges() []Edge {
 }
 
 // EdgeProbability returns the probability of edge (u, v) and whether the
-// edge exists. If parallel edges exist, the first is returned.
+// edge exists. Out-adjacency is sorted by target at build time, so the
+// lookup binary-searches in O(log outdeg) instead of scanning. If parallel
+// edges exist, the first (lowest-index) one is returned.
 func (g *Graph) EdgeProbability(u, v NodeID) (float64, bool) {
 	adj, ps := g.OutNeighbors(u)
-	for i, w := range adj {
-		if w == v {
-			return ps[i], true
-		}
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	if i < len(adj) && adj[i] == v {
+		return ps[i], true
 	}
 	return 0, false
 }
@@ -149,8 +260,71 @@ func (g *Graph) Validate() error {
 		if u < 0 || u >= g.n {
 			return fmt.Errorf("graph: in edge %d comes from invalid node %d", i, u)
 		}
-		if p := g.inP[i]; p <= 0 || p > 1 {
-			return fmt.Errorf("graph: in edge %d has probability %v outside (0,1]", i, p)
+	}
+	if g.uniformIn {
+		if g.inP != nil {
+			return fmt.Errorf("graph: uniform in-probability storage retains per-edge inP")
+		}
+		if len(g.inProb) != int(g.n) {
+			return fmt.Errorf("graph: inProb length %d, want %d", len(g.inProb), g.n)
+		}
+		for v := int32(0); v < g.n; v++ {
+			if g.InDegree(v) == 0 {
+				continue
+			}
+			if p := g.inProb[v]; p <= 0 || p > 1 {
+				return fmt.Errorf("graph: node %d in-probability %v outside (0,1]", v, p)
+			}
+		}
+	} else {
+		for i, p := range g.inP {
+			if p <= 0 || p > 1 {
+				return fmt.Errorf("graph: in edge %d has probability %v outside (0,1]", i, p)
+			}
+		}
+	}
+	// CSR adjacency must be sorted (out by target, in by source): the
+	// binary-searched EdgeProbability and deterministic layouts rely on it.
+	for u := int32(0); u < g.n; u++ {
+		adj := g.outAdj[g.outIdx[u]:g.outIdx[u+1]]
+		for i := 1; i < len(adj); i++ {
+			if adj[i-1] > adj[i] {
+				return fmt.Errorf("graph: out-adjacency of node %d not sorted at %d", u, i)
+			}
+		}
+		srcs := g.inAdj[g.inIdx[u]:g.inIdx[u+1]]
+		for i := 1; i < len(srcs); i++ {
+			if srcs[i-1] > srcs[i] {
+				return fmt.Errorf("graph: in-adjacency of node %d not sorted at %d", u, i)
+			}
+		}
+	}
+	// Success-count tables, when present, must be nondecreasing threshold
+	// runs terminated by the sentinel.
+	if g.inTabOff != nil {
+		for v := int32(0); v < g.n; v++ {
+			tab := g.InCountThresholds(v)
+			if tab == nil {
+				continue
+			}
+			prev := uint32(0)
+			terminated := false
+			for k, t := range tab {
+				if t == ^uint32(0) {
+					terminated = true
+					break
+				}
+				if k > g.InDegree(v) {
+					return fmt.Errorf("graph: node %d count table longer than degree", v)
+				}
+				if t < prev {
+					return fmt.Errorf("graph: node %d count table decreases at %d", v, k)
+				}
+				prev = t
+			}
+			if !terminated {
+				return fmt.Errorf("graph: node %d count table lacks a sentinel", v)
+			}
 		}
 	}
 	// Every out edge must have a matching in edge with equal probability.

@@ -5,26 +5,49 @@ package graph
 // earlier seeds. It is a mask over the immutable CSR arrays: removal is
 // O(1), membership checks are O(1), and no adjacency is copied.
 //
+// The alive-node list is maintained incrementally (swap-remove on Remove,
+// rebuilt only on Reset), so uniform root sampling reads it in O(1) via
+// AliveList instead of rebuilding an O(N) slice per residual version.
+//
 // A Residual is not safe for concurrent mutation; concurrent readers are
 // fine between mutations. Clone produces an independent view sharing the
 // underlying Graph.
 type Residual struct {
-	g       *Graph
-	removed []bool
-	alive   int
-	version int64 // bumped on every mutation; lets caches detect staleness
+	g *Graph
+	// aliveList holds the alive node IDs in an order determined by the
+	// removal history (swap-remove); pos[u] is u's index in aliveList, or
+	// -1 when u has been removed.
+	aliveList []NodeID
+	pos       []int32
+	version   int64 // bumped on every mutation; lets caches detect staleness
 }
 
 // NewResidual returns a residual view of g with all nodes alive.
 func NewResidual(g *Graph) *Residual {
-	return &Residual{g: g, removed: make([]bool, g.N()), alive: g.N()}
+	r := &Residual{
+		g:         g,
+		aliveList: make([]NodeID, g.N()),
+		pos:       make([]int32, g.N()),
+	}
+	r.fillAlive()
+	return r
+}
+
+// fillAlive resets the alive bookkeeping to "all nodes alive, increasing
+// order".
+func (r *Residual) fillAlive() {
+	r.aliveList = r.aliveList[:r.g.N()]
+	for u := range r.aliveList {
+		r.aliveList[u] = NodeID(u)
+		r.pos[u] = int32(u)
+	}
 }
 
 // Graph returns the underlying immutable graph.
 func (r *Residual) Graph() *Graph { return r.g }
 
 // N returns the number of alive nodes (the paper's n_i).
-func (r *Residual) N() int { return r.alive }
+func (r *Residual) N() int { return len(r.aliveList) }
 
 // FullN returns the node count of the underlying graph.
 func (r *Residual) FullN() int { return r.g.N() }
@@ -33,16 +56,22 @@ func (r *Residual) FullN() int { return r.g.N() }
 func (r *Residual) Version() int64 { return r.version }
 
 // Alive reports whether node u is still present.
-func (r *Residual) Alive(u NodeID) bool { return !r.removed[u] }
+func (r *Residual) Alive(u NodeID) bool { return r.pos[u] >= 0 }
 
-// Remove deletes node u from the view. Removing an already-removed node is
-// a no-op. Returns true if the node was alive.
+// Remove deletes node u from the view in O(1) (swap-remove on the alive
+// list). Removing an already-removed node is a no-op. Returns true if the
+// node was alive.
 func (r *Residual) Remove(u NodeID) bool {
-	if r.removed[u] {
+	i := r.pos[u]
+	if i < 0 {
 		return false
 	}
-	r.removed[u] = true
-	r.alive--
+	last := len(r.aliveList) - 1
+	moved := r.aliveList[last]
+	r.aliveList[i] = moved
+	r.pos[moved] = i
+	r.aliveList = r.aliveList[:last]
+	r.pos[u] = -1
 	r.version++
 	return true
 }
@@ -54,11 +83,18 @@ func (r *Residual) RemoveAll(us []NodeID) {
 	}
 }
 
-// AliveNodes returns the alive node IDs in increasing order. Allocates.
+// AliveList returns the alive node IDs without allocating. The slice
+// aliases internal storage, must not be modified, and is only valid until
+// the next mutation; its order is a deterministic function of the removal
+// history (not sorted). Samplers draw uniform roots from it directly.
+func (r *Residual) AliveList() []NodeID { return r.aliveList }
+
+// AliveNodes returns a copy of the alive node IDs in increasing order.
+// Allocates; hot paths should use AliveList.
 func (r *Residual) AliveNodes() []NodeID {
-	out := make([]NodeID, 0, r.alive)
-	for u := 0; u < len(r.removed); u++ {
-		if !r.removed[u] {
+	out := make([]NodeID, 0, len(r.aliveList))
+	for u := 0; u < len(r.pos); u++ {
+		if r.pos[u] >= 0 {
 			out = append(out, NodeID(u))
 		}
 	}
@@ -70,12 +106,12 @@ func (r *Residual) AliveNodes() []NodeID {
 func (r *Residual) M() int64 {
 	var m int64
 	for u := int32(0); u < int32(r.g.N()); u++ {
-		if r.removed[u] {
+		if r.pos[u] < 0 {
 			continue
 		}
 		adj, _ := r.g.OutNeighbors(u)
 		for _, v := range adj {
-			if !r.removed[v] {
+			if r.pos[v] >= 0 {
 				m++
 			}
 		}
@@ -83,24 +119,25 @@ func (r *Residual) M() int64 {
 	return m
 }
 
-// Clone returns an independent copy of the view over the same Graph.
+// Clone returns an independent copy of the view over the same Graph,
+// including the alive-list order, so sampling after a clone matches
+// sampling after the original's history.
 func (r *Residual) Clone() *Residual {
 	cp := &Residual{
-		g:       r.g,
-		removed: make([]bool, len(r.removed)),
-		alive:   r.alive,
-		version: r.version,
+		g:         r.g,
+		aliveList: make([]NodeID, len(r.aliveList), r.g.N()),
+		pos:       make([]int32, len(r.pos)),
+		version:   r.version,
 	}
-	copy(cp.removed, r.removed)
+	copy(cp.aliveList, r.aliveList)
+	copy(cp.pos, r.pos)
 	return cp
 }
 
-// Reset restores all nodes to alive.
+// Reset restores all nodes to alive (and the alive list to increasing
+// order).
 func (r *Residual) Reset() {
-	for i := range r.removed {
-		r.removed[i] = false
-	}
-	r.alive = r.g.N()
+	r.fillAlive()
 	r.version++
 }
 
@@ -109,15 +146,15 @@ func (r *Residual) Reset() {
 // new->old ID mappings. Used by tests and by the exact oracle, where
 // enumeration cost depends on the materialized size.
 func (r *Residual) Materialize() (*Graph, map[NodeID]NodeID, []NodeID) {
-	oldToNew := make(map[NodeID]NodeID, r.alive)
-	newToOld := make([]NodeID, 0, r.alive)
+	oldToNew := make(map[NodeID]NodeID, len(r.aliveList))
+	newToOld := make([]NodeID, 0, len(r.aliveList))
 	for u := int32(0); u < int32(r.g.N()); u++ {
-		if !r.removed[u] {
+		if r.pos[u] >= 0 {
 			oldToNew[u] = NodeID(len(newToOld))
 			newToOld = append(newToOld, u)
 		}
 	}
-	b := NewBuilder(r.alive, r.g.Directed())
+	b := NewBuilder(len(r.aliveList), r.g.Directed())
 	for _, oldU := range newToOld {
 		adj, ps := r.g.OutNeighbors(oldU)
 		for i, oldV := range adj {

@@ -66,6 +66,11 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 
 	r := rng.New(opts.Seed)
 	res := graph.NewResidual(g)
+	// One sampler pool spans the LB-guessing and selection phases, so
+	// worker scratch is shared even though each phase draws a fresh
+	// collection (IMM's independence requirement is on the RR sets, not
+	// on the samplers' scratch buffers).
+	pool := ris.NewSamplerPool(opts.Model)
 	var totalRR int64
 
 	// Sampling phase: find LB.
@@ -84,7 +89,7 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 		// Each guess draws a fresh collection: IMM's guarantee needs the
 		// sets that certify LB to be independent of earlier guesses, so
 		// unlike the adaptive round loop there is no cross-guess reuse.
-		collection = ris.GenerateParallel(res, opts.Model, r.Split(), thetaI, opts.Workers)
+		collection = pool.Generate(res, r.Split(), thetaI, opts.Workers)
 		totalRR += int64(collection.Len())
 		if b := collection.Bytes(); b > peakBytes {
 			peakBytes = b
@@ -109,7 +114,7 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if theta < 1 {
 		theta = 1
 	}
-	collection = ris.GenerateParallel(res, opts.Model, r.Split(), theta, opts.Workers)
+	collection = pool.Generate(res, r.Split(), theta, opts.Workers)
 	totalRR += int64(collection.Len())
 	if b := collection.Bytes(); b > peakBytes {
 		peakBytes = b

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cascade"
 	"repro/internal/graph"
@@ -124,6 +125,7 @@ type RIS struct {
 	model cascade.Model
 	theta int
 	r     *rng.RNG
+	pool  *ris.SamplerPool
 
 	cachedVersion int64
 	cached        *ris.Collection
@@ -135,6 +137,7 @@ type RIS struct {
 	totalRequested int64
 	totalReused    int64
 	peakBytes      int64
+	samplingNS     int64
 }
 
 // NewRIS builds an RIS-backed oracle drawing theta RR sets per residual
@@ -143,7 +146,7 @@ func NewRIS(model cascade.Model, theta int, r *rng.RNG) *RIS {
 	if theta <= 0 {
 		panic("oracle: theta must be positive")
 	}
-	return &RIS{model: model, theta: theta, r: r, cachedVersion: -1}
+	return &RIS{model: model, theta: theta, r: r, pool: ris.NewSamplerPool(model), cachedVersion: -1}
 }
 
 // ExpectedSpread estimates E[I_{G_i}(S)] = n_i · CovR(S)/θ.
@@ -193,14 +196,23 @@ func (o *RIS) Refresh(res *graph.Residual) {
 		w = 1
 	}
 	if o.cached == nil || !o.reuse {
-		o.cached = ris.GenerateParallel(res, o.model, o.r.Split(), o.theta, w)
+		if o.cached == nil {
+			o.cached = ris.NewCollection(res.FullN())
+		} else {
+			o.cached.Reset() // fresh θ, warm storage
+		}
+		start := time.Now()
+		o.pool.AppendParallel(o.cached, res, o.r.Split(), o.theta, w)
+		o.samplingNS += time.Since(start).Nanoseconds()
 		o.totalDrawn += int64(o.cached.Len())
 		o.totalRequested += int64(o.cached.Requested())
 	} else {
 		kept := o.cached.Filter(res)
 		o.totalReused += int64(kept)
 		if shortfall := o.theta - kept; shortfall > 0 {
-			ris.AppendParallel(o.cached, res, o.model, o.r.Split(), shortfall, w)
+			start := time.Now()
+			o.pool.AppendParallel(o.cached, res, o.r.Split(), shortfall, w)
+			o.samplingNS += time.Since(start).Nanoseconds()
 			o.totalDrawn += int64(o.cached.Len() - kept)
 			o.totalRequested += int64(shortfall)
 		}
@@ -233,3 +245,7 @@ func (o *RIS) TotalReused() int64 { return o.totalReused }
 // PeakRRBytes returns the largest heap footprint the cached collection
 // reached (ris.Collection.Bytes). Deterministic for a fixed seed.
 func (o *RIS) PeakRRBytes() int64 { return o.peakBytes }
+
+// SamplingNS returns the wall time spent inside RR generation across all
+// refreshes, in nanoseconds.
+func (o *RIS) SamplingNS() int64 { return o.samplingNS }

@@ -1,0 +1,72 @@
+package ris
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// benchGraph materializes the nethept-s stand-in at paper scale with the
+// weighted-cascade weighting — the workload the paper's experiments (and
+// the README performance table) are measured on.
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	spec, err := gen.Lookup("nethept-s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := gen.Generate(spec.Config(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchmarkDraw measures single-threaded RR-set draws; the reported
+// rr/s metric is sets per second.
+func benchmarkDraw(b *testing.B, model cascade.Model) {
+	g := benchGraph(b)
+	res := graph.NewResidual(g)
+	s := NewSampler(res, model, rng.New(1))
+	var nodes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, ok := s.drawTouched()
+		if !ok {
+			b.Fatal("draw failed on a live graph")
+		}
+		nodes += int64(len(s.touched))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rr/s")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodes/set")
+}
+
+func BenchmarkDrawIC(b *testing.B) { benchmarkDraw(b, cascade.IC) }
+func BenchmarkDrawLT(b *testing.B) { benchmarkDraw(b, cascade.LT) }
+
+// BenchmarkAppendParallel measures one adaptive "attempt": generating a
+// batch of RR sets into a collection with GOMAXPROCS workers, the
+// configuration every algorithm in the repo uses. The pre-PR baseline for
+// this workload (a fresh sampler and collection per attempt, per-edge
+// coins) is recorded in the README performance table.
+func BenchmarkAppendParallel(b *testing.B) {
+	const batch = 20000
+	g := benchGraph(b)
+	res := graph.NewResidual(g)
+	parent := rng.New(2)
+	pool := NewSamplerPool(cascade.IC)
+	c := NewCollection(res.FullN())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Reset()
+		pool.AppendParallel(c, res, parent, batch, 0)
+		if c.Len() != batch {
+			b.Fatal("short generation")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "rr/s")
+}

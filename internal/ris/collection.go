@@ -81,6 +81,40 @@ func (c *Collection) AddSet(root graph.NodeID, nodes []graph.NodeID) {
 	c.invValid = false
 }
 
+// growArena ensures the arena can hold need entries without reallocating,
+// clamping the capacity to maxArena. Bulk generators reserve a worst-case
+// RR set up front so they can build sets in the arena tail in place.
+func (c *Collection) growArena(need int) {
+	if cap(c.arena) >= need || need > maxArena {
+		return
+	}
+	newCap := 2 * cap(c.arena)
+	if newCap < need {
+		newCap = need
+	}
+	if newCap > maxArena {
+		newCap = maxArena
+	}
+	bigger := make([]graph.NodeID, len(c.arena), newCap)
+	copy(bigger, c.arena)
+	c.arena = bigger
+}
+
+// commitSet finalizes a set of n nodes built in place in the arena tail
+// (arena[len(arena):len(arena)+n] already holds them). It enforces the
+// same maxArena bound as AddSet: raw appends elsewhere can leave the
+// arena with capacity beyond maxArena, so an in-place build near the
+// boundary must still fail loudly rather than wrap the int32 offsets.
+func (c *Collection) commitSet(root graph.NodeID, n int) {
+	if len(c.arena)+n > maxArena {
+		panic("ris: collection arena exceeds int32 offset range; shard the collection")
+	}
+	c.arena = c.arena[:len(c.arena)+n]
+	c.offsets = append(c.offsets, int32(len(c.arena)))
+	c.roots = append(c.roots, root)
+	c.invValid = false
+}
+
 // appendBulk splices a chunk of sets (a worker-local arena) onto c,
 // preserving set order. lens holds the per-set node counts.
 func (c *Collection) appendBulk(arena []graph.NodeID, lens []int32, roots []graph.NodeID) {
@@ -95,6 +129,22 @@ func (c *Collection) appendBulk(arena []graph.NodeID, lens []int32, roots []grap
 	}
 	c.roots = append(c.roots, roots...)
 	c.invValid = false
+}
+
+// Reset empties the collection in place, keeping the arena, offset, root
+// and index capacity for reuse — the warm path of persistent sampler
+// pools, where a fresh attempt reuses last attempt's storage instead of
+// growing a new arena from zero. Any Marks over the collection must be
+// discarded.
+func (c *Collection) Reset() {
+	c.arena = c.arena[:0]
+	c.offsets = c.offsets[:1]
+	c.offsets[0] = 0
+	c.roots = c.roots[:0]
+	c.invValid = false
+	c.version = -1
+	c.requested = 0
+	c.scratch = nil
 }
 
 // Len returns the number of RR sets actually held (the paper's θ as far as

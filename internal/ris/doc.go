@@ -17,9 +17,26 @@
 //
 //   - Sampler (ris.go): single-threaded RR-set generation on a residual
 //     view, with scratch reuse so a draw allocates only its arena append.
+//     On graphs with compressed in-probabilities (graph.InUniform — the
+//     weighted-cascade and uniform weightings) a node visit under IC runs
+//     in O(successes) RNG draws instead of O(in-degree): the successful
+//     in-edge count comes from one success-count table draw (or an
+//     rng.Geometric jump sequence for nodes without a table), and the
+//     success positions are placed uniformly — the same joint distribution
+//     as one independent coin per edge, up to the tables' documented 2^-32
+//     quantization. LT picks its in-parent by inverting the prefix scan in
+//     O(1). Trivalency-style mixed graphs take the per-edge reference path
+//     unchanged.
+//   - SamplerPool (parallel.go): persistent per-worker samplers for bulk
+//     generation. Worker scratch, RNG stream objects and output chunks
+//     survive across attempts, rounds, and algorithms, so a warm pool
+//     draws a whole attempt with zero allocations (asserted by
+//     TestAppendParallelWarmNoAllocs). The adaptive round loop
+//     (adaptive.runSampling), oracle.RIS and imm.Select each own one.
 //   - Collection (collection.go): CSR/arena storage — one flat node arena
 //     plus per-set offsets, and a lazily built CSR inverted index — so a
-//     collection is ~4 contiguous allocations regardless of θ.
+//     collection is ~4 contiguous allocations regardless of θ. Reset
+//     empties it in place keeping capacity (the pool's warm path);
 //     Collection.Filter compacts in place to the sets still valid on a
 //     mutated residual, enabling cross-round reuse: a set drawn on G_i
 //     that avoids every node deleted since remains a correctly
@@ -28,5 +45,6 @@
 //     Marks, and heap-based CELF greedy max-coverage — the selection step
 //     of IMM (§VI-A) and the nonadaptive greedy baseline.
 //   - AppendParallel / GenerateParallel (parallel.go): deterministic
-//     multi-worker generation that can top up an existing collection.
+//     multi-worker generation that can top up an existing collection;
+//     thin wrappers over a throwaway SamplerPool.
 package ris

@@ -17,47 +17,86 @@ type chunk struct {
 	roots []graph.NodeID
 }
 
-// AppendParallel draws count RR sets using up to workers goroutines and
-// appends them to c. Each worker owns a Split() substream of parent, so
-// the appended sets are a deterministic function of (parent state, count,
-// workers) regardless of scheduling; chunks merge in worker order, keeping
-// the arena layout reproducible too.
+// SamplerPool owns persistent per-worker samplers for bulk RR generation.
+// Worker scratch (visited marks, traversal stacks, output chunks) and RNG
+// stream objects survive across batches, so a warm pool draws a whole
+// attempt without allocating — unlike the one-sampler-per-call pattern,
+// which paid a fresh O(N) visited array per worker per batch. A pool is
+// owned by one run (an adaptive algorithm, an oracle, an IMM invocation)
+// and is not safe for concurrent use; its workers synchronize internally.
+type SamplerPool struct {
+	model    cascade.Model
+	samplers []*Sampler
+	streams  []*rng.RNG
+	chunks   []chunk
+	quota    []int
+}
+
+// NewSamplerPool creates an empty pool drawing under the given model.
+// Workers are materialized lazily on first use.
+func NewSamplerPool(model cascade.Model) *SamplerPool {
+	return &SamplerPool{model: model}
+}
+
+// grow ensures at least workers samplers, streams and chunks exist.
+func (p *SamplerPool) grow(workers int) {
+	for len(p.samplers) < workers {
+		p.samplers = append(p.samplers, &Sampler{model: p.model})
+		p.streams = append(p.streams, &rng.RNG{}) // reseeded before every use
+	}
+	if len(p.chunks) < workers {
+		p.chunks = append(p.chunks, make([]chunk, workers-len(p.chunks))...)
+	}
+}
+
+// AppendParallel draws count RR sets on res using up to workers goroutines
+// and appends them to c. Each worker is reseeded with a Split() substream
+// of parent, so the appended sets are a deterministic function of (parent
+// state, count, workers) regardless of scheduling; chunks merge in worker
+// order, keeping the arena layout reproducible too.
 //
 // workers <= 0 means GOMAXPROCS. The residual view is shared read-only;
 // callers must not mutate it during generation.
-func AppendParallel(c *Collection, res *graph.Residual, model cascade.Model, parent *rng.RNG, count, workers int) {
+func (p *SamplerPool) AppendParallel(c *Collection, res *graph.Residual, parent *rng.RNG, count, workers int) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > count {
 		workers = count
 	}
-	if workers <= 1 {
-		s := NewSampler(res, model, parent.Split())
+	if workers < 1 {
+		workers = 1
+	}
+	p.grow(workers)
+	if workers == 1 {
+		parent.SplitTo(p.streams[0])
+		s := p.samplers[0]
+		s.bind(res, p.streams[0])
 		s.AppendTo(c, count)
 		return
 	}
 	// Deterministic per-worker quotas and streams.
-	quota := make([]int, workers)
+	p.quota = p.quota[:0]
 	for i := 0; i < workers; i++ {
-		quota[i] = count / workers
+		q := count / workers
+		if i < count%workers {
+			q++
+		}
+		p.quota = append(p.quota, q)
+		parent.SplitTo(p.streams[i])
 	}
-	for i := 0; i < count%workers; i++ {
-		quota[i]++
-	}
-	streams := make([]*rng.RNG, workers)
-	for i := range streams {
-		streams[i] = parent.Split()
-	}
-	results := make([]chunk, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := NewSampler(res, model, streams[w])
-			var ck chunk
-			for i := 0; i < quota[w]; i++ {
+			s := p.samplers[w]
+			s.bind(res, p.streams[w])
+			ck := &p.chunks[w]
+			ck.arena = ck.arena[:0]
+			ck.lens = ck.lens[:0]
+			ck.roots = ck.roots[:0]
+			for i := 0; i < p.quota[w]; i++ {
 				root, ok := s.drawTouched()
 				if !ok {
 					break
@@ -66,19 +105,35 @@ func AppendParallel(c *Collection, res *graph.Residual, model cascade.Model, par
 				ck.lens = append(ck.lens, int32(len(s.touched)))
 				ck.roots = append(ck.roots, root)
 			}
-			results[w] = ck
 		}(w)
 	}
 	wg.Wait()
 	c.noteRequested(count)
 	c.noteVersion(res.Version())
-	for _, ck := range results {
+	for w := 0; w < workers; w++ {
+		ck := &p.chunks[w]
 		c.appendBulk(ck.arena, ck.lens, ck.roots)
 	}
 }
 
+// Generate draws theta RR sets into a new Collection through the pool.
+func (p *SamplerPool) Generate(res *graph.Residual, parent *rng.RNG, theta, workers int) *Collection {
+	c := NewCollection(res.FullN())
+	p.AppendParallel(c, res, parent, theta, workers)
+	return c
+}
+
+// AppendParallel is the pool-free convenience form: it draws through a
+// throwaway SamplerPool, preserving the historical free-function contract
+// (and its per-call scratch cost). Long-lived callers should hold a
+// SamplerPool instead.
+func AppendParallel(c *Collection, res *graph.Residual, model cascade.Model, parent *rng.RNG, count, workers int) {
+	NewSamplerPool(model).AppendParallel(c, res, parent, count, workers)
+}
+
 // GenerateParallel draws theta RR sets into a new Collection using up to
-// workers goroutines. See AppendParallel for the determinism contract.
+// workers goroutines. See SamplerPool.AppendParallel for the determinism
+// contract.
 func GenerateParallel(res *graph.Residual, model cascade.Model, parent *rng.RNG, theta, workers int) *Collection {
 	c := NewCollection(res.FullN())
 	AppendParallel(c, res, model, parent, theta, workers)

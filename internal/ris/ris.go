@@ -1,6 +1,8 @@
 package ris
 
 import (
+	"math"
+
 	"repro/internal/cascade"
 	"repro/internal/graph"
 	"repro/internal/rng"
@@ -16,80 +18,163 @@ type RRSet struct {
 
 // Sampler generates RR sets on a (residual view of a) graph.
 // A Sampler is not safe for concurrent use; create one per goroutine with
-// independent RNG streams (see GenerateParallel).
+// independent RNG streams, or draw through a SamplerPool which owns one
+// sampler per worker.
 type Sampler struct {
 	res   *graph.Residual
 	model cascade.Model
 	r     *rng.RNG
 
 	// Scratch buffers reused across draws to avoid per-RR-set allocation.
+	// touched doubles as the BFS frontier: nodes are expanded in append
+	// order, so no separate stack is maintained.
 	visited []bool
-	stack   []graph.NodeID
 	touched []graph.NodeID
+	perm    []int32 // position scratch for large success counts
 
-	// aliveList caches the alive node IDs for uniform root sampling; it is
-	// rebuilt when the residual's version changes.
-	aliveList    []graph.NodeID
-	aliveVersion int64
+	// skipAlive is set per draw when every node is alive (full residual):
+	// pushNode then skips the aliveness lookup, saving a random memory
+	// access per traversed edge in the common early rounds.
+	skipAlive bool
+
+	// noFast forces the per-edge reference path even on uniform
+	// in-probability graphs; distributional-equivalence tests set it.
+	noFast bool
 }
 
 // NewSampler creates a sampler over res under the given model.
 func NewSampler(res *graph.Residual, model cascade.Model, r *rng.RNG) *Sampler {
-	n := res.FullN()
-	return &Sampler{
-		res:          res,
-		model:        model,
-		r:            r,
-		visited:      make([]bool, n),
-		aliveVersion: -1,
+	s := &Sampler{model: model}
+	s.bind(res, r)
+	return s
+}
+
+// bind points the sampler at a residual view and RNG stream, growing the
+// visited scratch when the underlying graph is larger than anything seen
+// before. SamplerPool rebinds its workers this way on every batch, so
+// scratch survives across attempts, rounds, and algorithms.
+func (s *Sampler) bind(res *graph.Residual, r *rng.RNG) {
+	s.res = res
+	s.r = r
+	if n := res.FullN(); len(s.visited) < n {
+		s.visited = make([]bool, n)
 	}
 }
 
-// refreshAlive rebuilds the alive-node list if the residual changed.
-func (s *Sampler) refreshAlive() {
-	if s.aliveVersion == s.res.Version() {
-		return
-	}
-	s.aliveList = s.res.AliveNodes()
-	s.aliveVersion = s.res.Version()
-}
+const countSentinel = ^uint32(0)
+
+// jumpMaxP bounds the per-edge probability up to which geometric jumps
+// beat a plain coin-per-edge scan: one jump costs a log evaluation
+// (~6 coin flips), and the expected number of jumps over d edges is
+// d·p + 1, so large p degrades toward per-edge cost with a worse
+// constant.
+const jumpMaxP = 0.25
 
 // drawTouched samples one RR set into the s.touched scratch buffer and
 // returns its root. ok is false when no node is alive. The buffer is only
 // valid until the next draw.
 //
 // Under IC, each in-edge (u,v) is traversed (reverse direction) with its
-// probability, coins drawn lazily — equivalent to sampling a realization
-// and collecting the nodes that reach the root, but only exploring the
-// reverse cone. Under LT, each visited node picks at most one in-parent.
+// probability — equivalent to sampling a realization and collecting the
+// nodes that reach the root, but only exploring the reverse cone. On
+// graphs with compressed in-probabilities (graph.InUniform) the per-node
+// expansion runs in O(successes) RNG draws instead of O(in-degree): the
+// number of successful in-edges comes from one success-count table draw
+// (or a Geometric(p) jump sequence when the node has no table), and the
+// success positions are placed uniformly — the same joint distribution as
+// one independent coin per edge. Under LT, each visited node picks at most
+// one in-parent; the uniform fast path inverts the pick in O(1) instead of
+// a linear prefix scan.
 func (s *Sampler) drawTouched() (root graph.NodeID, ok bool) {
-	s.refreshAlive()
-	if len(s.aliveList) == 0 {
+	alive := s.res.AliveList()
+	if len(alive) == 0 {
 		return 0, false
 	}
-	root = s.aliveList[s.r.Intn(len(s.aliveList))]
-	s.stack = s.stack[:0]
+	root = alive[s.r.Intn(len(alive))]
 	s.touched = s.touched[:0]
-
-	push := func(u graph.NodeID) {
-		if s.visited[u] || !s.res.Alive(u) {
-			return
-		}
-		s.visited[u] = true
-		s.touched = append(s.touched, u)
-		s.stack = append(s.stack, u)
-	}
-	push(root)
+	s.skipAlive = len(alive) == s.res.FullN()
+	s.pushNode(root)
 	g := s.res.Graph()
-	for len(s.stack) > 0 {
-		v := s.stack[len(s.stack)-1]
-		s.stack = s.stack[:len(s.stack)-1]
+	switch fast := !s.noFast && g.InUniform(); {
+	case fast && s.model == cascade.IC:
+		s.traverseFastIC(g)
+	case fast:
+		s.traverseFastLT(g)
+	default:
+		s.traverseRef(g)
+	}
+	// Clear scratch for the next draw.
+	for _, u := range s.touched {
+		s.visited[u] = false
+	}
+	return root, true
+}
+
+// traverseFastIC runs the reverse BFS under IC on a graph with compressed
+// in-probabilities. The success count of a visit is drawn before the
+// adjacency is touched: a zero count (the most likely outcome under
+// weighted cascade) finishes the visit on the tables alone. The count word
+// is drawn on every visit — and discarded for table-less nodes — so this
+// path consumes the RNG stream exactly like the bulk appendFastIC loop.
+func (s *Sampler) traverseFastIC(g *graph.Graph) {
+	for head := 0; head < len(s.touched); head++ {
+		v := s.touched[head]
+		u32 := s.r.Uint32()
+		if u32 == countSentinel {
+			u32-- // keep the sentinel an unconditional terminator
+		}
+		if tab := g.InCountThresholds(v); tab != nil {
+			k := 0
+			for _, t := range tab { // terminates at the sentinel
+				if u32 < t {
+					break
+				}
+				k++
+			}
+			if k > 0 {
+				srcs, _, _ := g.InNeighborsUniform(v)
+				if k == 1 {
+					s.pushNode(srcs[s.r.Intn(len(srcs))])
+				} else {
+					s.pushKofD(srcs, k)
+				}
+			}
+			continue
+		}
+		srcs, p, _ := g.InNeighborsUniform(v)
+		if len(srcs) > 0 {
+			s.expandICUniform(srcs, p)
+		}
+	}
+}
+
+// traverseFastLT runs the reverse walk under LT on a graph with compressed
+// in-probabilities: the prefix scan picks srcs[i] iff x lands in
+// [i·p, (i+1)·p), which inverts to one division per visit.
+func (s *Sampler) traverseFastLT(g *graph.Graph) {
+	for head := 0; head < len(s.touched); head++ {
+		v := s.touched[head]
+		srcs, p, _ := g.InNeighborsUniform(v)
+		if len(srcs) == 0 {
+			continue
+		}
+		if idx := s.r.PrefixPick(p, len(srcs)); idx >= 0 {
+			s.pushNode(srcs[idx])
+		}
+	}
+}
+
+// traverseRef is the per-edge reference traversal used on mixed
+// in-probability graphs (and by equivalence tests on any graph).
+func (s *Sampler) traverseRef(g *graph.Graph) {
+	for head := 0; head < len(s.touched); head++ {
+		v := s.touched[head]
 		srcs, ps := g.InNeighbors(v)
 		switch s.model {
 		case cascade.IC:
 			for i, u := range srcs {
 				if s.r.Coin(ps[i]) {
-					push(u)
+					s.pushNode(u)
 				}
 			}
 		case cascade.LT:
@@ -98,17 +183,124 @@ func (s *Sampler) drawTouched() (root graph.NodeID, ok bool) {
 			for i, u := range srcs {
 				acc += ps[i]
 				if x < acc {
-					push(u)
+					s.pushNode(u)
 					break
 				}
 			}
 		}
 	}
-	// Clear scratch for the next draw.
-	for _, u := range s.touched {
-		s.visited[u] = false
+}
+
+// expandICUniform pushes the in-neighbors of v that survive an IC coin
+// flip when v has no success-count table (the table path lives inline in
+// drawTouched), exploiting that all of v's in-edges share probability p:
+//
+//   - p >= 1: every in-edge fires;
+//   - geometric jump (rng.Geometric): skip from one success to the next,
+//     O(successes) draws — used while p is small enough for jumps to pay;
+//   - per-edge coins: the reference path, best for large p.
+//
+// All strategies draw from the same per-edge Bernoulli product
+// distribution.
+func (s *Sampler) expandICUniform(srcs []graph.NodeID, p float64) {
+	d := len(srcs)
+	if p >= 1 {
+		for _, u := range srcs {
+			s.pushNode(u)
+		}
+		return
 	}
-	return root, true
+	if p <= jumpMaxP {
+		inv := 1 / math.Log1p(-p)
+		for i := s.r.GeometricInv(inv, d); i < d; i += 1 + s.r.GeometricInv(inv, d) {
+			s.pushNode(srcs[i])
+		}
+		return
+	}
+	for _, u := range srcs {
+		if s.r.Coin(p) {
+			s.pushNode(u)
+		}
+	}
+}
+
+// maxRejectK bounds the success count up to which a uniform k-subset of
+// positions is drawn by rejection against a tiny fixed buffer; larger
+// counts switch to a partial Fisher-Yates over the perm scratch.
+const maxRejectK = 8
+
+// pushKofD pushes k (>= 2) sources chosen uniformly without replacement
+// from srcs — combined with the Binomial success count this reproduces
+// independent per-edge coins exactly (exchangeability).
+func (s *Sampler) pushKofD(srcs []graph.NodeID, k int) {
+	var buf [maxRejectK]int32
+	for _, pos := range s.pickPositions(len(srcs), k, buf[:0]) {
+		s.pushNode(srcs[pos])
+	}
+}
+
+// pickPositions draws k distinct uniform positions in [0, d), appending
+// to buf when it fits and spilling to the perm scratch otherwise. The
+// returned slice is valid until the next call.
+func (s *Sampler) pickPositions(d, k int, buf []int32) []int32 {
+	out := buf
+	if k > cap(out) || k >= d {
+		if cap(s.perm) < d {
+			s.perm = make([]int32, d)
+		}
+		out = s.perm[:0]
+	}
+	switch {
+	case k >= d:
+		for i := 0; i < d; i++ {
+			out = append(out, int32(i))
+		}
+	case k == 2: // the overwhelmingly common multi-success count
+		i := int32(s.r.Intn(d))
+		j := int32(s.r.Intn(d))
+		for j == i {
+			j = int32(s.r.Intn(d))
+		}
+		out = append(out, i, j)
+	case k <= maxRejectK:
+		for c := 0; c < k; {
+			i := int32(s.r.Intn(d))
+			dup := false
+			for j := 0; j < c; j++ {
+				if out[j] == i {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			out = append(out, i)
+			c++
+		}
+	default:
+		// Partial Fisher-Yates over the scratch permutation.
+		perm := s.perm[:d]
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		for c := 0; c < k; c++ {
+			j := c + s.r.Intn(d-c)
+			perm[c], perm[j] = perm[j], perm[c]
+		}
+		out = perm[:k]
+	}
+	return out
+}
+
+// pushNode adds u to the RR set under construction if it is alive and not
+// yet visited.
+func (s *Sampler) pushNode(u graph.NodeID) {
+	if s.visited[u] || (!s.skipAlive && !s.res.Alive(u)) {
+		return
+	}
+	s.visited[u] = true
+	s.touched = append(s.touched, u)
 }
 
 // Draw samples one RR set into a freshly allocated RRSet. It returns nil
@@ -126,16 +318,165 @@ func (s *Sampler) Draw() *RRSet {
 
 // AppendTo draws up to count RR sets directly into c's arena, stopping
 // early if the residual empties. The requested count is recorded on c so
-// shortfalls stay observable.
+// shortfalls stay observable. Bulk IC generation on compressed graphs
+// runs through a specialized loop that hoists the per-draw dispatch out of
+// the hot path.
 func (s *Sampler) AppendTo(c *Collection, count int) {
 	c.noteRequested(count)
 	c.noteVersion(s.res.Version())
+	if meta, arena, thr := s.res.Graph().InSamplerTables(); meta != nil && !s.noFast && s.model == cascade.IC {
+		s.appendFastIC(c, count, meta, arena, thr)
+		return
+	}
 	for i := 0; i < count; i++ {
 		root, ok := s.drawTouched()
 		if !ok {
 			return
 		}
 		c.AddSet(root, s.touched)
+	}
+}
+
+// appendFastIC is AppendTo's bulk loop for IC on compressed graphs: the
+// same draw as traverseFastIC, with the per-draw prologue (alive list,
+// graph, mode dispatch) hoisted into locals across the whole batch and
+// per-visit state read through the packed InSamplerTables metadata — one
+// random load per visit instead of three. It draws from exactly the same
+// distribution as drawTouched.
+func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, inArena []graph.NodeID, thr []uint32) {
+	res := s.res
+	alive := res.AliveList()
+	if len(alive) == 0 {
+		return
+	}
+	g := res.Graph()
+	r := s.r
+	visited := s.visited
+	full := res.FullN()
+	skipAlive := len(alive) == full
+	var posBuf [maxRejectK]int32
+	for i := 0; i < count; i++ {
+		// Build the set in the arena tail in place; a worst-case
+		// reservation keeps the frontier from reallocating away, except
+		// next to the maxArena boundary, where the post-draw copy path
+		// below takes over.
+		base := len(c.arena)
+		c.growArena(base + full)
+		inPlace := cap(c.arena)-base >= full
+		touched := c.arena[base:base]
+		if !inPlace {
+			touched = s.touched[:0]
+		}
+		root := alive[r.Intn(len(alive))]
+		visited[root] = true
+		touched = append(touched, root)
+		for head := 0; head < len(touched); head++ {
+			v := touched[head]
+			mv := meta[v]
+			u32 := r.Uint32()
+			if u32 == countSentinel {
+				u32-- // keep the sentinel an unconditional terminator
+			}
+			if u32 < mv.Thr0 {
+				continue // zero successes (or zero degree): metadata only
+			}
+			if mv.TabOff < 0 {
+				// Rare shapes without a table: certain edges, a geometric
+				// jump run, or per-edge coins — expandICUniform's strategy
+				// choice, inlined so the frontier stays a local. (The count
+				// draw above is discarded; these nodes set Thr0 = 0.)
+				srcs, p, _ := g.InNeighborsUniform(v)
+				d := len(srcs)
+				switch {
+				case d == 0:
+				case p >= 1:
+					for _, u := range srcs {
+						if !visited[u] && (skipAlive || res.Alive(u)) {
+							visited[u] = true
+							touched = append(touched, u)
+						}
+					}
+				case p <= jumpMaxP:
+					inv := 1 / math.Log1p(-p)
+					for pos := r.GeometricInv(inv, d); pos < d; pos += 1 + r.GeometricInv(inv, d) {
+						u := srcs[pos]
+						if !visited[u] && (skipAlive || res.Alive(u)) {
+							visited[u] = true
+							touched = append(touched, u)
+						}
+					}
+				default:
+					for _, u := range srcs {
+						if r.Coin(p) && !visited[u] && (skipAlive || res.Alive(u)) {
+							visited[u] = true
+							touched = append(touched, u)
+						}
+					}
+				}
+				continue
+			}
+			// At least one success: count k = |{j : u32 >= thr[j]}|. Entries
+			// 1..4 (tables are sentinel-padded to at least five) are
+			// compared branchlessly — the count distribution makes a
+			// scanning branch mispredict constantly; the arithmetic compare
+			// (borrow bit of u32-t) costs a fixed ~2 ops per entry instead.
+			t4 := thr[mv.TabOff+1 : mv.TabOff+5]
+			u64 := uint64(u32)
+			lt := (u64-uint64(t4[0]))>>63 + (u64-uint64(t4[1]))>>63 +
+				(u64-uint64(t4[2]))>>63 + (u64-uint64(t4[3]))>>63
+			k := 5 - int(lt)
+			if k == 5 { // rare heavy tail: finish with the scalar scan
+				for _, t := range thr[mv.TabOff+5:] { // stops at the sentinel
+					if u32 < t {
+						break
+					}
+					k++
+				}
+			}
+			if k == 1 {
+				u := inArena[mv.Start+int32(r.Intn(int(mv.Deg)))]
+				if !visited[u] && (skipAlive || res.Alive(u)) {
+					visited[u] = true
+					touched = append(touched, u)
+				}
+				continue
+			}
+			if k == 2 && mv.Deg > 2 {
+				i := int32(r.Intn(int(mv.Deg)))
+				j := int32(r.Intn(int(mv.Deg)))
+				for j == i {
+					j = int32(r.Intn(int(mv.Deg)))
+				}
+				u := inArena[mv.Start+i]
+				if !visited[u] && (skipAlive || res.Alive(u)) {
+					visited[u] = true
+					touched = append(touched, u)
+				}
+				u = inArena[mv.Start+j]
+				if !visited[u] && (skipAlive || res.Alive(u)) {
+					visited[u] = true
+					touched = append(touched, u)
+				}
+				continue
+			}
+			srcs := inArena[mv.Start : mv.Start+mv.Deg]
+			for _, pos := range s.pickPositions(len(srcs), k, posBuf[:0]) {
+				u := srcs[pos]
+				if !visited[u] && (skipAlive || res.Alive(u)) {
+					visited[u] = true
+					touched = append(touched, u)
+				}
+			}
+		}
+		for _, u := range touched {
+			visited[u] = false
+		}
+		if inPlace {
+			c.commitSet(root, len(touched))
+		} else {
+			c.AddSet(root, touched)
+			s.touched = touched
+		}
 	}
 }
 

@@ -1,0 +1,110 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGeometricMean checks E[Geometric(p)] = (1-p)/p for a few p values.
+func TestGeometricMean(t *testing.T) {
+	r := New(7)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.9} {
+		const n = 200000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += float64(r.Geometric(p))
+		}
+		got := sum / n
+		want := (1 - p) / p
+		// Std error of the mean is sqrt((1-p))/p/sqrt(n); 5 sigma.
+		tol := 5 * math.Sqrt(1-p) / p / math.Sqrt(n)
+		if math.Abs(got-want) > tol {
+			t.Errorf("p=%v: mean %v, want %v ± %v", p, got, want, tol)
+		}
+	}
+}
+
+// TestGeometricMatchesCoins: P(Geometric(p) = k) must equal the chance of
+// k failures then a success; compare the full CDF against coin flipping.
+func TestGeometricMatchesCoins(t *testing.T) {
+	const p = 0.3
+	const n = 100000
+	geo := make(map[int]int)
+	rg := New(11)
+	for i := 0; i < n; i++ {
+		geo[rg.Geometric(p)]++
+	}
+	coin := make(map[int]int)
+	rc := New(12)
+	for i := 0; i < n; i++ {
+		k := 0
+		for !rc.Coin(p) {
+			k++
+		}
+		coin[k]++
+	}
+	for k := 0; k < 10; k++ {
+		pg := float64(geo[k]) / n
+		pc := float64(coin[k]) / n
+		want := p * math.Pow(1-p, float64(k))
+		if math.Abs(pg-want) > 0.01 || math.Abs(pc-want) > 0.01 {
+			t.Errorf("k=%d: geometric %v, coins %v, want %v", k, pg, pc, want)
+		}
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(1)
+	if k := r.Geometric(1); k != 0 {
+		t.Fatalf("Geometric(1) = %d, want 0", k)
+	}
+	if k := r.Geometric(1.5); k != 0 {
+		t.Fatalf("Geometric(1.5) = %d, want 0", k)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+func TestGeometricInvClamps(t *testing.T) {
+	r := New(3)
+	inv := 1 / math.Log1p(-1e-12) // astronomically long expected jumps
+	for i := 0; i < 100; i++ {
+		if k := r.GeometricInv(inv, 10); k < 0 || k > 10 {
+			t.Fatalf("GeometricInv returned %d outside [0, 10]", k)
+		}
+	}
+}
+
+// TestReseedMatchesNew: Reseed must reproduce New's stream in place.
+func TestReseedMatchesNew(t *testing.T) {
+	fresh := New(42)
+	reused := New(1)
+	reused.Uint32() // advance arbitrarily
+	reused.Reseed(42)
+	for i := 0; i < 100; i++ {
+		if fresh.Uint32() != reused.Uint32() {
+			t.Fatalf("Reseed diverged from New at draw %d", i)
+		}
+	}
+}
+
+// TestSplitToMatchesSplit: SplitTo must yield the same child stream as
+// Split and advance the parent identically.
+func TestSplitToMatchesSplit(t *testing.T) {
+	a, b := New(9), New(9)
+	childA := a.Split()
+	var childB RNG
+	b.SplitTo(&childB)
+	for i := 0; i < 100; i++ {
+		if childA.Uint32() != childB.Uint32() {
+			t.Fatalf("SplitTo child diverged at draw %d", i)
+		}
+	}
+	if a.Uint32() != b.Uint32() {
+		t.Fatal("parents diverged after Split vs SplitTo")
+	}
+}

@@ -38,22 +38,38 @@ func splitmix64(s *uint64) uint64 {
 
 // New returns a generator deterministically derived from seed.
 func New(seed uint64) *RNG {
-	s := seed
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitializes r in place exactly as New(seed) would, without
+// allocating. Persistent sampler pools use it to hand long-lived workers a
+// fresh deterministic substream on every batch.
+func (r *RNG) Reseed(seed uint64) {
+	s := seed
 	r.state = splitmix64(&s)
 	r.inc = splitmix64(&s)<<1 | 1
 	// Advance once so that near-zero seeds do not produce near-zero output.
 	r.Uint32()
-	return r
 }
 
 // Split returns a new generator whose stream is independent of r's.
 // The child is a pure function of r's current state, so splitting is itself
 // deterministic; r advances as if one value had been drawn.
 func (r *RNG) Split() *RNG {
+	child := &RNG{}
+	r.SplitTo(child)
+	return child
+}
+
+// SplitTo is the in-place form of Split: it reseeds child with the stream
+// Split would have allocated, so pooled workers can be re-derived from a
+// parent every batch without heap traffic. r advances identically to Split.
+func (r *RNG) SplitTo(child *RNG) {
 	a := uint64(r.Uint32())
 	b := uint64(r.Uint32())
-	return New(a<<32 | b)
+	child.Reseed(a<<32 | b)
 }
 
 // Uint32 returns the next 32 uniformly distributed bits.
@@ -136,4 +152,52 @@ func (r *RNG) Exp() float64 {
 	u := r.Float64()
 	// Float64 is in [0,1); 1-u is in (0,1] so the log is finite.
 	return -math.Log(1 - u)
+}
+
+// Geometric returns the number of failures before the first success in a
+// Bernoulli(p) sequence, via the table-free inversion
+//
+//	k = floor(log(1-U) / log(1-p)),
+//
+// the jump primitive that lets a sampler skip over a run of
+// same-probability Bernoulli trials in one draw instead of flipping one
+// coin per trial (the SUBSIM-style skip). Hot loops that jump repeatedly
+// at one p use GeometricInv with the denominator hoisted; Geometric is
+// the general single-shot form, clamped to MaxInt64 so a pathologically
+// small p cannot overflow the float-to-int conversion. Geometric panics
+// for p <= 0; p >= 1 returns 0.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric needs p > 0")
+	}
+	return r.GeometricInv(1/math.Log1p(-p), math.MaxInt64)
+}
+
+// PrefixPick inverts a uniform prefix scan: with n intervals of width p
+// laid end to end, it returns the index i such that a uniform draw lands
+// in [i·p, (i+1)·p), or -1 when the draw lands past n·p. This is the O(1)
+// form of the linear threshold model's "pick at most one in-parent with
+// probability p each" scan; forward realization sampling and reverse RR
+// sampling share it so the boundary semantics cannot diverge.
+func (r *RNG) PrefixPick(p float64, n int) int {
+	if idx := int(r.Float64() / p); idx < n {
+		return idx
+	}
+	return -1
+}
+
+// GeometricInv is Geometric with the denominator precomputed: invLog1mP
+// must equal 1/log1p(-p) for the success probability p in (0, 1). Callers
+// that jump repeatedly at the same p (a whole in-adjacency scan) hoist the
+// log out of the loop. The jump is clamped to max, so a pathologically
+// small p cannot overflow the float-to-int conversion.
+func (r *RNG) GeometricInv(invLog1mP float64, max int) int {
+	k := math.Log1p(-r.Float64()) * invLog1mP
+	if k >= float64(max) {
+		return max
+	}
+	return int(k)
 }
