@@ -20,6 +20,7 @@ type benchOutput struct {
 	Model        string       `json:"model"`
 	Scale        float64      `json:"scale"`
 	Seed         uint64       `json:"seed"`
+	Sampler      string       `json:"sampler,omitempty"`
 	WallMS       int64        `json:"wall_ms"`
 	Rows         []*resultRow `json:"rows"`
 	Errors       []string     `json:"errors,omitempty"`
@@ -46,12 +47,15 @@ func cmdBench(args []string) error {
 	costs := fs.String("costs", "all", "comma-separated cost settings (or 'all')")
 	model := fs.String("model", "ic", "diffusion model: ic or lt")
 	out := fs.String("out", "BENCH_results.json", "output file (BENCH_*.json)")
-	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps := runFlags(fs)
+	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps, sampler := runFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	m, err := parseModel(*model)
 	if err != nil {
+		return err
+	}
+	if err := validateSampler(*sampler); err != nil {
 		return err
 	}
 	allDatasets := []string{"nethept-s", "epinions-s", "dblp-s", "livejournal-s"}
@@ -63,6 +67,7 @@ func cmdBench(args []string) error {
 		Model:        m.String(),
 		Scale:        *scale,
 		Seed:         *seed,
+		Sampler:      *sampler,
 	}
 	for _, algo := range grid.Algos {
 		if err := validateAlgo(algo); err != nil {
@@ -80,6 +85,7 @@ func cmdBench(args []string) error {
 				dataset: ds, scale: *scale, model: m, costSetting: cs,
 				k: *k, reps: *reps, seed: *seed, zeta: *zeta, eps: *eps, delta: *delta,
 				adgTheta: *adgTheta, nsgTheta: *nsgTheta, workers: *workers, immEps: *immEps,
+				sampler: *sampler,
 			}
 			// The prepared instance (graph + IMM targets + calibrated costs)
 			// is algorithm-independent; build it once per (dataset, cost).

@@ -88,6 +88,16 @@ func validateAlgo(name string) error {
 	return fmt.Errorf("unknown algorithm %q (have %v)", name, adaptive.Algorithms)
 }
 
+// validateSampler rejects unknown stopping-rule policy names.
+func validateSampler(name string) error {
+	for _, p := range adaptive.SamplingPolicies {
+		if p == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown sampler %q (have %v)", name, adaptive.SamplingPolicies)
+}
+
 func parseModel(s string) (cascade.Model, error) {
 	switch strings.ToLower(s) {
 	case "ic":

@@ -106,3 +106,63 @@ func TestCmdReportNoInputs(t *testing.T) {
 		t.Fatal("report with no BENCH files succeeded")
 	}
 }
+
+// seqFixedBenches builds the same configuration run under both stopping
+// rules, the shape the sequential-vs-fixed comparison section keys on.
+func seqFixedBenches() []*benchOutput {
+	row := func(sampler string, drawn int64, profit float64) *resultRow {
+		return &resultRow{Algo: "addatp", Dataset: "nethept-s", CostSetting: "uniform",
+			Model: "IC", Scale: 0.1, Seed: 1, K: 50, Targets: 50, Budget: 600.25,
+			Realizations: 2, Sampler: sampler,
+			RRDrawn: drawn, AvgProfit: profit, Attempts: 10, RRBatches: 5, Fallbacks: 2, CertifiedEarly: 3}
+	}
+	return []*benchOutput{
+		{Datasets: []string{"nethept-s"}, Algos: []string{"addatp"}, CostSettings: []string{"uniform"},
+			Model: "IC", Scale: 0.1, Seed: 1, Sampler: "fixed", Rows: []*resultRow{row("fixed", 1000000, 100)}},
+		{Datasets: []string{"nethept-s"}, Algos: []string{"addatp"}, CostSettings: []string{"uniform"},
+			Model: "IC", Scale: 0.1, Seed: 1, Sampler: "seq", Rows: []*resultRow{row("seq", 100000, 98)}},
+	}
+}
+
+func TestRenderSamplerComparison(t *testing.T) {
+	md := renderReport(seqFixedBenches(), []string{"BENCH_f.json", "BENCH_s.json"})
+	for _, want := range []string{
+		"## model=IC scale=0.1 seed=1 sampler=fixed",
+		"## model=IC scale=0.1 seed=1 sampler=seq",
+		"## Sequential vs fixed sampling",
+		"| nethept-s · uniform · IC · scale 0.1 · seed 1 · k 50 · 2 reps · addatp | 1000000 | 100000 | 10.0× | 100.00 | 98.00 | 2 → 2 |",
+		"### Stopping-rule telemetry",
+		"10 looks · 5 batches · 3 early · 2 fallbacks",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("report missing %q:\n%s", want, md)
+		}
+	}
+	// A lone sampler (no counterpart) must not emit the comparison section.
+	md = renderReport(seqFixedBenches()[:1], []string{"BENCH_f.json"})
+	if strings.Contains(md, "## Sequential vs fixed sampling") {
+		t.Fatal("comparison section rendered without both samplers")
+	}
+	// Pairs whose instances diverged (different IMM targets/budget) are
+	// marked as not directly comparable.
+	div := seqFixedBenches()
+	div[1].Rows[0].Budget = 999
+	md = renderReport(div, []string{"BENCH_f.json", "BENCH_s.json"})
+	if !strings.Contains(md, "· addatp † |") {
+		t.Fatalf("diverging-instance pair not marked:\n%s", md)
+	}
+	// Rows differing in k or reps must not pair up at all.
+	kdiff := seqFixedBenches()
+	kdiff[1].Rows[0].K = 25
+	md = renderReport(kdiff, []string{"BENCH_f.json", "BENCH_s.json"})
+	if strings.Contains(md, "## Sequential vs fixed sampling") {
+		t.Fatal("rows with different k paired as an A/B")
+	}
+	// Pre-telemetry rows (no attempts recorded) degrade to fallbacks-only.
+	old := sampleBench()
+	old.Rows[0].Fallbacks = 7
+	md = renderReport([]*benchOutput{old}, []string{"BENCH_old.json"})
+	if !strings.Contains(md, "| nethept-s | 7 fallbacks | — |") {
+		t.Fatalf("pre-telemetry fallback cell missing:\n%s", md)
+	}
+}

@@ -32,10 +32,11 @@ type runConfig struct {
 	nsgTheta    int
 	workers     int
 	immEps      float64
+	sampler     string
 }
 
 // runFlags registers the flags shared by `run` and `bench`.
-func runFlags(fs *flag.FlagSet) (k, reps, adgTheta, nsgTheta, workers *int, seed *uint64, scale, zeta, eps, delta, immEps *float64) {
+func runFlags(fs *flag.FlagSet) (k, reps, adgTheta, nsgTheta, workers *int, seed *uint64, scale, zeta, eps, delta, immEps *float64, sampler *string) {
 	k = fs.Int("k", 50, "target set size |T| picked by IMM")
 	reps = fs.Int("reps", 3, "realizations to average over")
 	adgTheta = fs.Int("adg-theta", 10_000, "RR sets per residual version for ADG's RIS oracle")
@@ -47,6 +48,8 @@ func runFlags(fs *flag.FlagSet) (k, reps, adgTheta, nsgTheta, workers *int, seed
 	eps = fs.Float64("eps", 0.2, "relative error ε for HATP")
 	delta = fs.Float64("delta", 0.1, "failure probability δ for ADDATP/HATP")
 	immEps = fs.Float64("imm-eps", 0.5, "IMM approximation slack for target selection")
+	sampler = fs.String("sampler", adaptive.PolicySequential,
+		fmt.Sprintf("RR sampling stopping rule for ADDATP/HATP: %v (fixed = paper-faithful attempt loop)", adaptive.SamplingPolicies))
 	return
 }
 
@@ -84,6 +87,14 @@ type resultRow struct {
 	SamplingMS int64   `json:"sampling_ms"`
 	RRPerSec   float64 `json:"rr_per_sec"`
 	Fallbacks  int     `json:"fallbacks"`
+	// Stopping-rule telemetry (sampling policies only): which controller
+	// ran, how many certification looks it took, how many RR batches were
+	// actually drawn, and how many rounds certified below the sampling
+	// frontier instead of falling back to the point estimate.
+	Sampler        string `json:"sampler,omitempty"`
+	Attempts       int    `json:"attempts"`
+	RRBatches      int    `json:"rr_batches"`
+	CertifiedEarly int    `json:"certified_early"`
 
 	ImmTheta          int   `json:"imm_theta"`
 	ImmThetaRequested int   `json:"imm_theta_requested"`
@@ -121,6 +132,7 @@ func prepare(cfg runConfig) (*preparedInstance, error) {
 		ImmEps:      cfg.immEps,
 		Seed:        cfg.seed,
 		Workers:     cfg.workers,
+		Sampler:     cfg.sampler,
 	})
 	if err != nil {
 		return nil, err
@@ -137,6 +149,7 @@ func execute(cfg runConfig, p *preparedInstance) (*resultRow, error) {
 	start := time.Now()
 	opts := adaptive.RunOptions{
 		Sampling: adaptive.SamplingOptions{
+			Policy:  cfg.sampler,
 			Zeta:    cfg.zeta,
 			Eps:     cfg.eps,
 			Delta:   cfg.delta,
@@ -175,6 +188,10 @@ func execute(cfg runConfig, p *preparedInstance) (*resultRow, error) {
 		SamplingMS:        rep.SamplingNS / 1e6,
 		RRPerSec:          rrPerSec(rep.RRDrawn, rep.SamplingNS),
 		Fallbacks:         rep.Fallbacks,
+		Sampler:           rep.Sampler,
+		Attempts:          rep.Attempts,
+		RRBatches:         rep.RRBatches,
+		CertifiedEarly:    rep.CertifiedEarly,
 		ImmTheta:          immRes.Theta,
 		ImmThetaRequested: immRes.ThetaRequested,
 		ImmTotalRR:        immRes.TotalRR,
@@ -191,7 +208,7 @@ func cmdRun(args []string) error {
 	dataset := fs.String("dataset", "nethept-s", "Table II stand-in dataset name")
 	model := fs.String("model", "ic", "diffusion model: ic or lt")
 	costName := fs.String("cost", "degree-proportional", "cost setting: degree-proportional, uniform, random")
-	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps := runFlags(fs)
+	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps, sampler := runFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -206,10 +223,14 @@ func cmdRun(args []string) error {
 	if err := validateAlgo(*algo); err != nil {
 		return err
 	}
+	if err := validateSampler(*sampler); err != nil {
+		return err
+	}
 	cfg := runConfig{
 		algo: *algo, dataset: *dataset, scale: *scale, model: m, costSetting: cs,
 		k: *k, reps: *reps, seed: *seed, zeta: *zeta, eps: *eps, delta: *delta,
 		adgTheta: *adgTheta, nsgTheta: *nsgTheta, workers: *workers, immEps: *immEps,
+		sampler: *sampler,
 	}
 	p, err := prepare(cfg)
 	if err != nil {

@@ -95,6 +95,20 @@ type RunResult struct {
 	// Fallbacks counts rounds where the refinement budget ran out and the
 	// decision fell back to the point estimate (sampling policies only).
 	Fallbacks int `json:"fallbacks"`
+	// Sampler names the stopping-rule policy that drove the run
+	// (PolicySequential or PolicyFixed); empty for non-sampling policies.
+	Sampler string `json:"sampler,omitempty"`
+	// Attempts counts stopping-rule evaluations: fixed-θ attempts under
+	// PolicyFixed, batch-boundary looks under PolicySequential.
+	Attempts int `json:"attempts"`
+	// RRBatches counts RR-generator invocations (batches actually drawn);
+	// Attempts − RRBatches looks were answered from carried-over sets.
+	RRBatches int `json:"rr_batches"`
+	// CertifiedEarly counts rounds whose seed/stop decision was certified
+	// strictly below the policy's sampling frontier (the θ cap for
+	// sequential, the MaxRefine-th attempt for fixed) — the rounds where
+	// sequential stopping saves draws.
+	CertifiedEarly int `json:"certified_early"`
 }
 
 func (inst *Instance) finish(algo string, seeds []graph.NodeID, env *Environment) *RunResult {

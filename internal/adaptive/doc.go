@@ -27,12 +27,39 @@
 //     (RunHATP) — the paper's headline efficiency gain.
 //
 // Both sampling policies share one round structure (runSampling in
-// sampling.go) and one RR collection: refinement grows θ on an unchanged
-// residual so earlier samples count toward the new target, and after a
-// seeding observation the collection is validity-filtered
+// sampling.go) behind a Policy switch:
+//
+//   - PolicySequential (default) is the sequential sampling controller
+//     (runSequential): one RR collection grows in geometrically doubling
+//     batches through a ris.Batcher, and after every batch an
+//     anytime-valid confidence sequence (bounds.AnytimeWidth at the
+//     spent budget bounds.SpendGeometric) asks whether the seed/stop
+//     decision is already certified. The paper's Lemma 4 (Hoeffding) and
+//     Lemma 7 (hybrid martingale) bounds certify a decision only at
+//     their precomputed θ(ζ_i, δ_i); the anytime empirical-Bernstein
+//     bound generalizes them to every batch boundary simultaneously —
+//     and adapts to the coverage variance, which is what collapses
+//     ADDATP's θ ∝ 1/ζ² refinement cost (≈9× fewer RR draws on
+//     nethept-s at scale 0.1, see EXPERIMENTS.md). Undecidable rounds
+//     fall back to the point estimate once every target's width reaches
+//     ζ/2^MaxRefine — the precision of the fixed loop's final attempt —
+//     with θ(ζ_min, δ_round) as an absolute cap. The per-batch check
+//     reads the incremental ris.Coverage tracker, O(batch + alive
+//     targets) per look.
+//   - PolicyFixed (runFixed) replays the paper's attempt loop verbatim —
+//     draw to θ(ζ_i, δ_i), halve ζ, MaxRefine fallback — and is pinned
+//     bit-for-bit to the pre-controller implementation by
+//     TestFixedPolicyMatchesPreRefactorGolden, so `--sampler fixed` is
+//     the paper-faithful baseline in every A/B.
+//
+// Under both policies one RR collection persists: refinement grows θ on
+// an unchanged residual so earlier samples count toward the new target,
+// and after a seeding observation the collection is validity-filtered
 // (ris.Collection.Filter) and only the shortfall is redrawn. RunResult's
 // RRDrawn / RRReused / RRPeakBytes fields account for the sampling cost,
-// the draws avoided by reuse, and the peak RR-storage footprint.
+// the draws avoided by reuse, and the peak RR-storage footprint;
+// Attempts / RRBatches / CertifiedEarly / Fallbacks expose the stopping
+// rule's behavior round by round.
 //
 // Nonadaptive baselines (nonadaptive.go): seeding all of T upfront (the
 // classic target-set seeding the worked example of Fig. 1 compares

@@ -48,10 +48,15 @@ func Run(inst *Instance, env *Environment, algo string, opts RunOptions, r *rng.
 	switch algo {
 	case AlgoADG:
 		var orc oracle.Oracle
-		// The exact oracle enumerates independent per-edge coins, which is
-		// IC semantics only; LT instances must go through the RIS oracle.
+		// Each model has its own exact enumerator on graphs small enough:
+		// per-edge coins for IC, per-node parent picks for LT. Larger
+		// graphs go through the RIS oracle.
 		if inst.Model == cascade.IC {
 			if exact, err := oracle.NewExact(inst.G); err == nil {
+				orc = exact
+			}
+		} else if inst.Model == cascade.LT {
+			if exact, err := oracle.NewExactLT(inst.G); err == nil {
 				orc = exact
 			}
 		}
@@ -100,7 +105,12 @@ type Report struct {
 	RRPeakBytes  int64   `json:"rr_peak_bytes"` // max over realizations
 	SamplingNS   int64   `json:"sampling_ns"`   // total across realizations
 	Fallbacks    int     `json:"fallbacks"`
-	Runs         []*RunResult
+	// Stopping-rule telemetry, summed across realizations (see RunResult).
+	Attempts       int    `json:"attempts"`
+	RRBatches      int    `json:"rr_batches"`
+	CertifiedEarly int    `json:"certified_early"`
+	Sampler        string `json:"sampler,omitempty"`
+	Runs           []*RunResult
 }
 
 // RunExperiment samples `realizations` possible worlds from the instance
@@ -132,6 +142,12 @@ func RunExperiment(inst *Instance, algo string, realizations int, opts RunOption
 			rep.RRPeakBytes = run.RRPeakBytes
 		}
 		rep.Fallbacks += run.Fallbacks
+		rep.Attempts += run.Attempts
+		rep.RRBatches += run.RRBatches
+		rep.CertifiedEarly += run.CertifiedEarly
+		if run.Sampler != "" {
+			rep.Sampler = run.Sampler
+		}
 		if i == 0 || run.Profit < rep.MinProfit {
 			rep.MinProfit = run.Profit
 		}

@@ -25,6 +25,12 @@ type Setup struct {
 	LBDelta float64
 	Seed    uint64
 	Workers int
+	// Sampler is the stopping-rule policy the run will use
+	// (PolicySequential default). PolicyFixed also pins IMM's target
+	// selection to its pre-batcher fresh-per-guess draws, so a fixed-policy
+	// pipeline is end-to-end identical to the paper-faithful
+	// implementation.
+	Sampler string
 }
 
 func (s *Setup) setDefaults() {
@@ -60,6 +66,7 @@ func Prepare(g *graph.Graph, model cascade.Model, s Setup) (*Instance, *imm.Resu
 		Model:   model,
 		Seed:    s.Seed,
 		Workers: s.Workers,
+		NoReuse: s.Sampler == PolicyFixed,
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("adaptive: target selection: %w", err)

@@ -173,3 +173,92 @@ func TestConfidenceInterval(t *testing.T) {
 		t.Fatal("degenerate inputs should give trivial interval 1")
 	}
 }
+
+func TestSpendGeometricSumsToDelta(t *testing.T) {
+	delta := 0.1
+	sum := 0.0
+	for k := 1; k <= 100000; k++ {
+		dk := SpendGeometric(delta, k)
+		if dk <= 0 || dk > delta {
+			t.Fatalf("δ_%d = %v outside (0, δ]", k, dk)
+		}
+		sum += dk
+	}
+	if sum > delta {
+		t.Fatalf("Σδ_k = %v exceeds δ = %v", sum, delta)
+	}
+	if sum < 0.999*delta { // telescoping sum converges to δ
+		t.Fatalf("Σδ_k = %v far below δ = %v", sum, delta)
+	}
+	if SpendGeometric(delta, 0) != 0 || SpendGeometric(0, 3) != 0 {
+		t.Fatal("degenerate inputs should spend nothing")
+	}
+}
+
+func TestAnytimeWidthShrinksWithTheta(t *testing.T) {
+	prev := 2.0
+	for _, theta := range []int{1, 10, 100, 1000, 100000} {
+		w := AnytimeWidth(theta, 0.3, 0.05)
+		if w >= prev {
+			t.Fatalf("width grew at θ=%d: %v >= %v", theta, w, prev)
+		}
+		prev = w
+	}
+	if AnytimeWidth(0, 0.3, 0.05) != 1 || AnytimeWidth(10, 0.3, 0) != 1 {
+		t.Fatal("degenerate inputs should give trivial width 1")
+	}
+}
+
+func TestAnytimeWidthVarianceAdaptive(t *testing.T) {
+	// At small coverage fractions the empirical-Bernstein branch must beat
+	// the range-based Hoeffding width — the lever that makes the sequential
+	// controller cheap for ADDATP.
+	theta, delta := 100000, 0.05
+	small := AnytimeWidth(theta, 0.01, delta)
+	hoeffding := math.Sqrt(math.Log(4/delta) / (2 * float64(theta)))
+	if small >= hoeffding/2 {
+		t.Fatalf("width %v at frac=0.01 not variance-adaptive (Hoeffding %v)", small, hoeffding)
+	}
+	// Near frac=1/2 the variance is maximal and Hoeffding should win (the
+	// min keeps the bound from degrading there).
+	mid := AnytimeWidth(theta, 0.5, delta)
+	if mid > hoeffding {
+		t.Fatalf("width %v at frac=0.5 exceeds Hoeffding %v", mid, hoeffding)
+	}
+}
+
+func TestAnytimeSequenceCovers(t *testing.T) {
+	// Empirical anytime validity: draw Bernoulli batches doubling in size
+	// and check the confidence sequence — width evaluated at
+	// SpendGeometric(δ, k) on the k-th look — covers the true mean at
+	// EVERY look, in all but ≲ δ of the trials.
+	delta := 0.1
+	p := 0.15
+	r := rng.New(11)
+	const trials = 1500
+	misses := 0
+	for trial := 0; trial < trials; trial++ {
+		hits, n := 0, 0
+		covered := true
+		batch := 32
+		for k := 1; k <= 8; k++ {
+			for i := 0; i < batch; i++ {
+				if r.Coin(p) {
+					hits++
+				}
+			}
+			n += batch
+			batch *= 2
+			frac := float64(hits) / float64(n)
+			if math.Abs(frac-p) > AnytimeWidth(n, frac, SpendGeometric(delta, k)) {
+				covered = false
+			}
+		}
+		if !covered {
+			misses++
+		}
+	}
+	if frac := float64(misses) / trials; frac > delta {
+		t.Fatalf("anytime miss rate %.4f exceeds δ=%v", frac, delta)
+	}
+}

@@ -10,6 +10,15 @@
 //     linear in 1/ζ where Hoeffding is quadratic, the reason HATP's
 //     refinement is cheap.
 //
+// The fixed-θ lemmas certify a decision only at their precomputed sample
+// sizes. For the sequential sampling controller (adaptive.runSequential)
+// the package additionally provides anytime-valid confidence sequences:
+// SpendGeometric splits a failure budget δ across an infinite sequence of
+// looks (δ_k = δ/(k(k+1))), and AnytimeWidth evaluates a per-look
+// two-sided half-width as the tighter of Hoeffding and empirical
+// Bernstein — variance-adaptive where Lemma 4 is range-bound, which is
+// what makes sequential ADDATP cheap at small coverage fractions.
+//
 // Tail evaluators (HoeffdingTail, HybridUpperTail, HybridLowerTail) and
 // the inverse-Hoeffding half-width (ConfidenceInterval) support
 // diagnostics and the EXPERIMENTS.md reporting.

@@ -12,11 +12,21 @@
 // (heap-based CELF over the CSR collection, ris.GreedyMaxCoverage),
 // giving a (1 − 1/e − ε)-approximation with probability 1 − 1/n^ℓ.
 //
-// Each sampling-phase guess draws a fresh collection rather than reusing
-// the previous guess's sets: IMM's guarantee needs the sets certifying LB
-// to be independent of earlier guesses. The CSR arena still keeps each
-// phase a handful of allocations, and Result.PeakRRBytes reports the
-// largest collection any phase materialized.
+// The θ search runs through the shared ris.Batcher batch loop: the
+// guesses form a doubling θ schedule on an unchanged residual, so by
+// default each guess tops up the previous guess's collection instead of
+// redrawing it, roughly halving the sampling-phase draws. The trade is
+// that the guesses' stopping tests are no longer independent — each
+// certificate still holds marginally, but the union bound over guesses
+// becomes conservative rather than exact. The selection phase always
+// draws a fresh collection in both modes: reusing the LB samples there
+// is the documented flaw of original IMM (θ is sized from an LB
+// estimated on the very samples the selection greedy would then
+// overfit). Options.NoReuse additionally restores fresh-per-guess LB
+// draws — Select is then bit-identical to the pre-batcher
+// implementation, which is what `--sampler fixed` pipelines use.
+// Result.PeakRRBytes reports the largest collection either phase
+// materialized.
 //
 // SpreadLowerBound additionally exposes the Hoeffding lower bound
 // E_l[I(T)] that §VI-A's cost calibration uses as the total seeding

@@ -18,6 +18,20 @@ type Options struct {
 	Seed  uint64
 	// Workers for parallel RR generation; 0 means GOMAXPROCS.
 	Workers int
+	// NoReuse draws a fresh RR collection for every lower-bound guess,
+	// exactly as the pre-batcher implementation did (paper-faithful; what
+	// `--sampler fixed` selects). By default the θ search keeps one
+	// collection and tops it up from guess to guess — the guesses form a
+	// doubling θ schedule on an unchanged residual, so growth reuses every
+	// earlier sample and the LB phase draws roughly half the sets, at the
+	// price of correlating the stopping tests across guesses (each guess's
+	// certificate still holds marginally; the union bound over guesses
+	// becomes conservative rather than exact). The selection phase always
+	// draws fresh sets in both modes: reusing the LB samples there is the
+	// known flaw of original IMM (θ is sized from an LB estimated on the
+	// very samples selection would then greedily overfit), so that reuse
+	// is never performed.
+	NoReuse bool
 }
 
 func (o *Options) setDefaults() {
@@ -66,19 +80,17 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 
 	r := rng.New(opts.Seed)
 	res := graph.NewResidual(g)
-	// One sampler pool spans the LB-guessing and selection phases, so
-	// worker scratch is shared even though each phase draws a fresh
-	// collection (IMM's independence requirement is on the RR sets, not
-	// on the samplers' scratch buffers).
-	pool := ris.NewSamplerPool(opts.Model)
-	var totalRR int64
+	// One batcher spans the LB-guessing and selection phases: the pool's
+	// worker scratch is shared either way, and by default the collection
+	// is too — the θ search is a doubling schedule on an unchanged
+	// residual, so each guess tops up the previous guess's sets instead of
+	// redrawing them (NoReuse restores the fresh-per-guess draws).
+	b := ris.NewBatcher(opts.Model)
 
 	// Sampling phase: find LB.
 	epsPrime := math.Sqrt2 * eps
 	lambdaPrime := (2 + 2*epsPrime/3) * (logChooseNK + ell*math.Log(nf) + math.Log(math.Log2(math.Max(nf, 2)))) * nf / (epsPrime * epsPrime)
 	lb := 1.0
-	var collection *ris.Collection
-	var peakBytes int64
 	maxI := int(math.Ceil(math.Log2(nf))) - 1
 	if maxI < 1 {
 		maxI = 1
@@ -86,14 +98,11 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	for i := 1; i <= maxI; i++ {
 		x := nf / math.Exp2(float64(i))
 		thetaI := int(math.Ceil(lambdaPrime / x))
-		// Each guess draws a fresh collection: IMM's guarantee needs the
-		// sets that certify LB to be independent of earlier guesses, so
-		// unlike the adaptive round loop there is no cross-guess reuse.
-		collection = pool.Generate(res, r.Split(), thetaI, opts.Workers)
-		totalRR += int64(collection.Len())
-		if b := collection.Bytes(); b > peakBytes {
-			peakBytes = b
+		if opts.NoReuse && b.Collection() != nil {
+			b.Collection().Reset()
 		}
+		b.GrowTo(res, r, thetaI, opts.Workers)
+		collection := b.Collection()
 		all := allNodes(n)
 		seeds, cum := collection.GreedyMaxCoverage(all, k)
 		if len(seeds) == 0 {
@@ -114,11 +123,15 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if theta < 1 {
 		theta = 1
 	}
-	collection = pool.Generate(res, r.Split(), theta, opts.Workers)
-	totalRR += int64(collection.Len())
-	if b := collection.Bytes(); b > peakBytes {
-		peakBytes = b
+	// The selection sample is always fresh: reusing the LB-phase sets here
+	// would size θ from an LB the greedy then overfits on the very same
+	// sets (the documented flaw of original IMM), so cross-phase reuse is
+	// never performed regardless of NoReuse.
+	if b.Collection() != nil {
+		b.Collection().Reset()
 	}
+	b.GrowTo(res, r, theta, opts.Workers)
+	collection := b.Collection()
 	seeds, cum := collection.GreedyMaxCoverage(allNodes(n), k)
 	spread := 0.0
 	if len(cum) > 0 {
@@ -129,8 +142,8 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 		SpreadLower:    spread / (1 + eps),
 		Theta:          collection.Len(),
 		ThetaRequested: theta,
-		TotalRR:        totalRR,
-		PeakRRBytes:    peakBytes,
+		TotalRR:        b.Drawn(),
+		PeakRRBytes:    b.PeakBytes(),
 	}, nil
 }
 

@@ -1,0 +1,109 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ltPickGraph is the small LT-valid graph the fast-path tests enumerate:
+// 5 nodes, uniform p = 0.25, node 3 with in-degree 3.
+func ltPickGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(5, true)
+	for _, e := range [][2]graph.NodeID{{0, 3}, {1, 3}, {2, 3}, {3, 4}, {4, 0}} {
+		if err := b.AddArc(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.ApplyUniformProbability(0.25); err != nil {
+		t.Fatal(err)
+	}
+	return b.Build()
+}
+
+// TestExactLTMatchesIndependentEnumerator ties the package oracle to the
+// test-local enumerator that validated the LT fast paths in PR 3: the two
+// implementations walk the pick space differently and must agree exactly.
+func TestExactLTMatchesIndependentEnumerator(t *testing.T) {
+	g := ltPickGraph(t)
+	o, err := NewExactLT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []graph.NodeID{0, 1, 3, 4} {
+		want := exactLTSpread(g, []graph.NodeID{seed})
+		got := o.Spread([]graph.NodeID{seed})
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("seed %d: ExactLT %.12f vs independent enumerator %.12f", seed, got, want)
+		}
+	}
+	// Multi-seed query.
+	want := exactLTSpread(g, []graph.NodeID{0, 3})
+	if got := o.Spread([]graph.NodeID{0, 3}); math.Abs(got-want) > 1e-12 {
+		t.Errorf("seeds {0,3}: ExactLT %.12f vs enumerator %.12f", got, want)
+	}
+}
+
+// TestExactLTOnResidual: on a residual view, dead parents' pick mass
+// folds into "no pick" and dead nodes conduct nothing — cross-checked
+// against forward Monte Carlo on the residual.
+func TestExactLTOnResidual(t *testing.T) {
+	g := ltPickGraph(t)
+	o, err := NewExactLT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := graph.NewResidual(g)
+	res.Remove(3) // cuts the 0/1/2 → 3 → 4 conduit
+	for _, seed := range []graph.NodeID{0, 4} {
+		got := o.ExpectedSpread(res, []graph.NodeID{seed})
+		mc := cascade.MonteCarloSpreadOn(res, cascade.LT, []graph.NodeID{seed}, 400000, rng.New(29))
+		if math.Abs(got-mc) > 0.02 {
+			t.Errorf("seed %d on residual: exact %.4f vs MC %.4f", seed, got, mc)
+		}
+	}
+	// A dead seed contributes nothing.
+	if got := o.ExpectedSpread(res, []graph.NodeID{3}); got != 0 {
+		t.Errorf("dead seed spread %.4f, want 0", got)
+	}
+}
+
+// TestExactLTRefusesLargeGraphs: the pick-space product guard must fire
+// before enumeration becomes infeasible.
+func TestExactLTRefusesLargeGraphs(t *testing.T) {
+	b := graph.NewBuilder(60, true)
+	for v := 1; v < 60; v++ {
+		for u := 0; u < v && u < 3; u++ {
+			if err := b.AddArc(graph.NodeID(u), graph.NodeID(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := b.ApplyUniformProbability(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewExactLT(b.Build()); err == nil {
+		t.Fatal("60-node in-degree-3 graph accepted for exact LT enumeration")
+	}
+}
+
+// TestExactLTPanicsOnForeignResidual mirrors the IC exact oracle's
+// graph-identity check.
+func TestExactLTPanicsOnForeignResidual(t *testing.T) {
+	g := ltPickGraph(t)
+	o, err := NewExactLT(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := ltPickGraph(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign residual accepted")
+		}
+	}()
+	o.ExpectedSpread(graph.NewResidual(other), []graph.NodeID{0})
+}

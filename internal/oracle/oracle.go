@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/cascade"
 	"repro/internal/graph"
@@ -120,24 +119,20 @@ func (o *MonteCarlo) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) f
 // RIS estimates spreads from an RR-set collection maintained per residual
 // version. theta controls the sample size. When the residual mutates, the
 // cached collection is validity-filtered (ris.Collection.Filter) and only
-// the shortfall is regenerated, instead of discarding every set.
+// the shortfall is regenerated, instead of discarding every set. The
+// draw/filter/top-up cycle and its accounting run through the shared
+// ris.Batcher — the same batch loop the adaptive sequential controller
+// and IMM's θ search use.
 type RIS struct {
 	model cascade.Model
 	theta int
 	r     *rng.RNG
-	pool  *ris.SamplerPool
+	b     *ris.Batcher
 
 	cachedVersion int64
-	cached        *ris.Collection
 	cachedAlive   int
 	workers       int
 	reuse         bool
-
-	totalDrawn     int64
-	totalRequested int64
-	totalReused    int64
-	peakBytes      int64
-	samplingNS     int64
 }
 
 // NewRIS builds an RIS-backed oracle drawing theta RR sets per residual
@@ -146,16 +141,19 @@ func NewRIS(model cascade.Model, theta int, r *rng.RNG) *RIS {
 	if theta <= 0 {
 		panic("oracle: theta must be positive")
 	}
-	return &RIS{model: model, theta: theta, r: r, pool: ris.NewSamplerPool(model), cachedVersion: -1}
+	b := ris.NewBatcher(model)
+	b.SetReuse(false) // see SetReuse for why reuse is opt-in here
+	return &RIS{model: model, theta: theta, r: r, b: b, cachedVersion: -1}
 }
 
 // ExpectedSpread estimates E[I_{G_i}(S)] = n_i · CovR(S)/θ.
 func (o *RIS) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 {
 	o.Refresh(res)
-	if o.cached.Len() == 0 {
+	c := o.b.Collection()
+	if c.Len() == 0 {
 		return 0
 	}
-	return ris.EstimateSpread(o.cached.Cov(seeds), o.cached.Len(), o.cachedAlive)
+	return ris.EstimateSpread(c.Cov(seeds), c.Len(), o.cachedAlive)
 }
 
 // SetWorkers enables parallel RR generation on future refreshes (n > 1;
@@ -175,7 +173,10 @@ func (o *RIS) SetWorkers(n int) { o.workers = n }
 // small per-round deletions of adaptive seeding, extreme on adversarial
 // graphs (deleting a chain's middle node leaves only single-node sets).
 // Callers accepting that trade (ADG on large graphs) opt in explicitly.
-func (o *RIS) SetReuse(on bool) { o.reuse = on }
+func (o *RIS) SetReuse(on bool) {
+	o.reuse = on
+	o.b.SetReuse(on)
+}
 
 // Refresh brings the cached RR collection up to date with the residual's
 // version. On the first call it generates θ sets from scratch; afterwards
@@ -185,7 +186,7 @@ func (o *RIS) SetReuse(on bool) { o.reuse = on }
 // adaptive drivers can force the per-round resampling (and account for
 // it) at a well-defined point.
 func (o *RIS) Refresh(res *graph.Residual) {
-	if o.cachedVersion == res.Version() && o.cached != nil {
+	if o.cachedVersion == res.Version() && o.b.Collection() != nil {
 		return
 	}
 	// workers <= 0 stays sequential here (unlike GenerateParallel's
@@ -195,57 +196,34 @@ func (o *RIS) Refresh(res *graph.Residual) {
 	if w < 1 {
 		w = 1
 	}
-	if o.cached == nil || !o.reuse {
-		if o.cached == nil {
-			o.cached = ris.NewCollection(res.FullN())
-		} else {
-			o.cached.Reset() // fresh θ, warm storage
-		}
-		start := time.Now()
-		o.pool.AppendParallel(o.cached, res, o.r.Split(), o.theta, w)
-		o.samplingNS += time.Since(start).Nanoseconds()
-		o.totalDrawn += int64(o.cached.Len())
-		o.totalRequested += int64(o.cached.Requested())
-	} else {
-		kept := o.cached.Filter(res)
-		o.totalReused += int64(kept)
-		if shortfall := o.theta - kept; shortfall > 0 {
-			start := time.Now()
-			o.pool.AppendParallel(o.cached, res, o.r.Split(), shortfall, w)
-			o.samplingNS += time.Since(start).Nanoseconds()
-			o.totalDrawn += int64(o.cached.Len() - kept)
-			o.totalRequested += int64(shortfall)
-		}
-	}
+	o.b.Sync(res) // filter (reuse) or reset (default)
+	o.b.GrowTo(res, o.r, o.theta, w)
 	o.cachedVersion = res.Version()
 	o.cachedAlive = res.N()
-	if b := o.cached.Bytes(); b > o.peakBytes {
-		o.peakBytes = b
-	}
 }
 
 // Collection returns the RR collection backing the current residual
 // version (nil before the first query).
-func (o *RIS) Collection() *ris.Collection { return o.cached }
+func (o *RIS) Collection() *ris.Collection { return o.b.Collection() }
 
 // TotalDrawn returns the RR sets generated across all refreshes.
-func (o *RIS) TotalDrawn() int64 { return o.totalDrawn }
+func (o *RIS) TotalDrawn() int64 { return o.b.Drawn() }
 
 // TotalRequested returns the RR sets requested from the generators across
 // all refreshes; larger than TotalDrawn when generation hit an empty
 // residual. Reused sets are not re-requested, so with reuse this is
 // smaller than refreshes × θ.
-func (o *RIS) TotalRequested() int64 { return o.totalRequested }
+func (o *RIS) TotalRequested() int64 { return o.b.Requested() }
 
 // TotalReused returns the RR sets carried over across residual versions
 // by validity filtering — draws the oracle avoided versus regenerating θ
 // sets on every refresh.
-func (o *RIS) TotalReused() int64 { return o.totalReused }
+func (o *RIS) TotalReused() int64 { return o.b.Reused() }
 
 // PeakRRBytes returns the largest heap footprint the cached collection
 // reached (ris.Collection.Bytes). Deterministic for a fixed seed.
-func (o *RIS) PeakRRBytes() int64 { return o.peakBytes }
+func (o *RIS) PeakRRBytes() int64 { return o.b.PeakBytes() }
 
 // SamplingNS returns the wall time spent inside RR generation across all
 // refreshes, in nanoseconds.
-func (o *RIS) SamplingNS() int64 { return o.samplingNS }
+func (o *RIS) SamplingNS() int64 { return o.b.SamplingNS() }

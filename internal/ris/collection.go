@@ -53,6 +53,10 @@ type Collection struct {
 	requested int
 
 	scratch *Marks // lazily created buffer backing Cov
+
+	// coverage is the attached incremental containment tracker, if any;
+	// Filter compacts it in lockstep and Reset zeroes it (see tracker.go).
+	coverage *Coverage
 }
 
 // NewCollection creates an empty collection over a graph with n nodes
@@ -145,6 +149,9 @@ func (c *Collection) Reset() {
 	c.version = -1
 	c.requested = 0
 	c.scratch = nil
+	if c.coverage != nil {
+		c.coverage.reset()
+	}
 }
 
 // Len returns the number of RR sets actually held (the paper's θ as far as
@@ -271,6 +278,8 @@ func (c *Collection) Filter(res *graph.Residual) int {
 	if c.version == res.Version() {
 		return c.Len()
 	}
+	cov := c.coverage
+	covSeen := 0
 	w := 0         // write cursor over sets
 	wa := int32(0) // write cursor over arena
 	for i := 0; i < c.Len(); i++ {
@@ -283,7 +292,17 @@ func (c *Collection) Filter(res *graph.Residual) int {
 			}
 		}
 		if !alive {
+			// Compact the attached coverage tracker in lockstep: a counted
+			// set that drops out must give its containment counts back.
+			if cov != nil && i < cov.seen {
+				for _, u := range c.arena[lo:hi] {
+					cov.counts[u]--
+				}
+			}
 			continue
+		}
+		if cov != nil && i < cov.seen {
+			covSeen++
 		}
 		copy(c.arena[wa:wa+(hi-lo)], c.arena[lo:hi])
 		c.roots[w] = c.roots[i]
@@ -296,6 +315,12 @@ func (c *Collection) Filter(res *graph.Residual) int {
 	c.arena = c.arena[:wa]
 	c.invValid = false
 	c.scratch = nil // set ids changed; stale marks must not survive
+	if cov != nil {
+		// Surviving counted sets form a prefix of the compacted order
+		// (Filter preserves order), so the tracker's counted prefix is
+		// exactly the kept sets it had already folded in.
+		cov.seen = covSeen
+	}
 	c.version = res.Version()
 	c.requested = w
 	return w

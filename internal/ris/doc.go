@@ -44,6 +44,14 @@
 //   - Coverage queries (coverage.go): CovR(S), incremental marginals via
 //     Marks, and heap-based CELF greedy max-coverage — the selection step
 //     of IMM (§VI-A) and the nonadaptive greedy baseline.
+//   - Coverage tracker and Batcher (tracker.go): Coverage maintains
+//     per-node containment counts incrementally as batches are appended
+//     and is compacted in lockstep by Collection.Filter, so a per-batch
+//     stopping-rule check costs O(batch + alive) instead of an inverted
+//     index rebuild. Batcher packages the draw/filter/top-up cycle —
+//     pool, collection, tracker, accounting — shared by the adaptive
+//     sequential controller, IMM's θ search, and oracle.RIS. Its warm
+//     loop is allocation-free (TestBatcherWarmLoopNoAllocs).
 //   - AppendParallel / GenerateParallel (parallel.go): deterministic
 //     multi-worker generation that can top up an existing collection;
 //     thin wrappers over a throwaway SamplerPool.

@@ -1,0 +1,177 @@
+package ris
+
+import (
+	"time"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Coverage maintains per-node single-node containment counts
+// (CountContaining for every node at once) incrementally as RR sets are
+// appended to a Collection. The sequential sampling controller checks its
+// stopping rule after every batch; recomputing CountContaining through
+// the CSR inverted index would rebuild the index — an O(arena + n) pass —
+// per batch per look, while Coverage keeps the counts current in
+// O(new batch nodes) and answers each query in O(1), so a per-batch check
+// over the alive targets costs O(batch + alive).
+//
+// A Coverage is compacted in lockstep by Collection.Filter (counts of
+// dropped sets are subtracted during the same pass) and zeroed by
+// Collection.Reset, so — unlike Marks — it stays valid across the
+// filter/top-up cycles of the adaptive round loop. Storage is allocated
+// once (one int32 per node of the full graph) and reused across batches
+// and rounds. At most one Coverage is attached to a Collection; attaching
+// a new one replaces the old.
+type Coverage struct {
+	c      *Collection
+	counts []int32
+	seen   int // sets [0, seen) are reflected in counts
+}
+
+// NewCoverage attaches an incremental containment tracker to c, counting
+// the sets already present.
+func (c *Collection) NewCoverage() *Coverage {
+	cov := &Coverage{c: c, counts: make([]int32, c.n)}
+	c.coverage = cov
+	cov.Update()
+	return cov
+}
+
+// Update folds the RR sets appended since the last Update (or Filter)
+// into the counts. O(nodes of the new sets).
+func (cov *Coverage) Update() {
+	c := cov.c
+	for i := cov.seen; i < c.Len(); i++ {
+		for _, u := range c.arena[c.offsets[i]:c.offsets[i+1]] {
+			cov.counts[u]++
+		}
+	}
+	cov.seen = c.Len()
+}
+
+// Count returns |{i : u ∈ R_i}| over the sets folded in so far — equal to
+// c.CountContaining(u) whenever Update has seen every set — without
+// touching the inverted index.
+func (cov *Coverage) Count(u graph.NodeID) int { return int(cov.counts[u]) }
+
+// reset zeroes the counts in place (storage is retained).
+func (cov *Coverage) reset() {
+	for i := range cov.counts {
+		cov.counts[i] = 0
+	}
+	cov.seen = 0
+}
+
+// Batcher owns the draw/filter/top-up cycle every RR-consuming run shares:
+// a persistent SamplerPool, one Collection reused across batches and
+// residual versions, an optional Coverage tracker, and the sampling
+// accounting (drawn / requested / reused / peak bytes / wall time /
+// batches) that runs report. The adaptive sequential controller, IMM's
+// θ search, and oracle.RIS.Refresh all draw through a Batcher instead of
+// hand-rolling the same loop.
+type Batcher struct {
+	pool    *SamplerPool
+	col     *Collection
+	cov     *Coverage
+	reuse   bool
+	wantCov bool
+
+	drawn, requested, reused, peakBytes, samplingNS int64
+	batches                                         int
+}
+
+// NewBatcher creates a batcher drawing under the given model. Cross-version
+// reuse is on by default; SetReuse(false) makes Sync regenerate from
+// scratch instead of validity-filtering.
+func NewBatcher(model cascade.Model) *Batcher {
+	return &Batcher{pool: NewSamplerPool(model), reuse: true}
+}
+
+// SetReuse toggles cross-version reuse (see Collection.Filter for the
+// root-mix caveat of keeping filtered sets).
+func (b *Batcher) SetReuse(on bool) { b.reuse = on }
+
+// EnableCoverage attaches an incremental Coverage tracker to the batcher's
+// collection; GrowTo keeps it current after every batch.
+func (b *Batcher) EnableCoverage() {
+	b.wantCov = true
+	if b.col != nil && b.cov == nil {
+		b.cov = b.col.NewCoverage()
+	}
+}
+
+func (b *Batcher) ensureCol(res *graph.Residual) *Collection {
+	if b.col == nil {
+		b.col = NewCollection(res.FullN())
+		if b.wantCov {
+			b.cov = b.col.NewCoverage()
+		}
+	}
+	return b.col
+}
+
+// Sync aligns the collection with the residual before a round of growth:
+// with reuse on it compacts to the sets still valid on res
+// (Collection.Filter) and counts the survivors as reused draws; with reuse
+// off it resets the collection (warm storage, fresh sets). It returns the
+// number of sets carried over.
+func (b *Batcher) Sync(res *graph.Residual) int {
+	c := b.ensureCol(res)
+	if !b.reuse {
+		c.Reset()
+		return 0
+	}
+	kept := c.Filter(res)
+	b.reused += int64(kept)
+	return kept
+}
+
+// GrowTo tops the collection up to target RR sets on res, drawing only the
+// shortfall through the persistent pool (one batch; RNG substreams are
+// split off parent only when something is drawn). The coverage tracker, if
+// enabled, is brought current. It returns the collection size, which can
+// fall short of target only when the residual has no alive nodes.
+func (b *Batcher) GrowTo(res *graph.Residual, parent *rng.RNG, target, workers int) int {
+	c := b.ensureCol(res)
+	if shortfall := target - c.Len(); shortfall > 0 {
+		before := c.Len()
+		start := time.Now()
+		b.pool.AppendParallel(c, res, parent.Split(), shortfall, workers)
+		b.samplingNS += time.Since(start).Nanoseconds()
+		b.drawn += int64(c.Len() - before)
+		b.requested += int64(shortfall)
+		b.batches++
+	}
+	if b.cov != nil {
+		b.cov.Update()
+	}
+	if bytes := c.Bytes(); bytes > b.peakBytes {
+		b.peakBytes = bytes
+	}
+	return c.Len()
+}
+
+// Count returns the tracked containment count of u (EnableCoverage first).
+func (b *Batcher) Count(u graph.NodeID) int { return b.cov.Count(u) }
+
+// Collection returns the batcher's collection (nil before the first Sync
+// or GrowTo).
+func (b *Batcher) Collection() *Collection { return b.col }
+
+// Len returns the current number of RR sets held.
+func (b *Batcher) Len() int {
+	if b.col == nil {
+		return 0
+	}
+	return b.col.Len()
+}
+
+// Accounting: totals since the batcher was created.
+func (b *Batcher) Drawn() int64      { return b.drawn }     // RR sets generated
+func (b *Batcher) Requested() int64  { return b.requested } // RR sets asked of the pool
+func (b *Batcher) Reused() int64     { return b.reused }    // sets carried across versions by Sync
+func (b *Batcher) PeakBytes() int64  { return b.peakBytes } // max Collection.Bytes seen
+func (b *Batcher) SamplingNS() int64 { return b.samplingNS }
+func (b *Batcher) Batches() int      { return b.batches } // generator invocations

@@ -1,0 +1,164 @@
+package ris
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// checkCoverageMatchesIndex cross-checks the incremental tracker against
+// the inverted-index count for every node.
+func checkCoverageMatchesIndex(t *testing.T, c *Collection, cov *Coverage, where string) {
+	t.Helper()
+	for u := 0; u < c.n; u++ {
+		if got, want := cov.Count(graph.NodeID(u)), c.CountContaining(graph.NodeID(u)); got != want {
+			t.Fatalf("%s: coverage count of node %d = %d, index says %d", where, u, got, want)
+		}
+	}
+}
+
+// TestCoverageTracksAppendsFiltersResets drives a Coverage through the
+// adaptive round loop's lifecycle — append batches, filter on a mutated
+// residual, top up, reset — and cross-checks the counts against the CSR
+// inverted index at every step.
+func TestCoverageTracksAppendsFiltersResets(t *testing.T) {
+	g := wcTestGraph(t)
+	res := graph.NewResidual(g)
+	pool := NewSamplerPool(cascade.IC)
+	parent := rng.New(41)
+	c := NewCollection(res.FullN())
+	pool.AppendParallel(c, res, parent, 200, 2)
+	cov := c.NewCoverage() // attaches mid-life: must count existing sets
+	checkCoverageMatchesIndex(t, c, cov, "after attach")
+
+	for round := 0; round < 5; round++ {
+		pool.AppendParallel(c, res, parent, 150, 2)
+		cov.Update()
+		checkCoverageMatchesIndex(t, c, cov, "after batch")
+
+		res.Remove(graph.NodeID(7 * (round + 1)))
+		kept := c.Filter(res)
+		if kept != c.Len() {
+			t.Fatalf("Filter reported %d kept, Len is %d", kept, c.Len())
+		}
+		checkCoverageMatchesIndex(t, c, cov, "after filter")
+	}
+
+	c.Reset()
+	for u := 0; u < c.n; u++ {
+		if cov.Count(graph.NodeID(u)) != 0 {
+			t.Fatalf("node %d count %d after Reset", u, cov.Count(graph.NodeID(u)))
+		}
+	}
+	// The tracker must keep working after a reset (warm storage).
+	pool.AppendParallel(c, res, parent, 120, 2)
+	cov.Update()
+	checkCoverageMatchesIndex(t, c, cov, "after reset + refill")
+}
+
+// TestCoverageFilterWithUncountedTail: Filter must treat sets appended
+// after the last Update (not yet folded into the counts) as uncounted —
+// dropping one must not decrement, keeping one must leave it for the next
+// Update.
+func TestCoverageFilterWithUncountedTail(t *testing.T) {
+	g := graph.MustFromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, P: 0.5},
+		{From: 2, To: 3, P: 0.5},
+	})
+	res := graph.NewResidual(g)
+	c := NewCollection(4)
+	c.AddSet(1, []graph.NodeID{1, 0})
+	cov := c.NewCoverage() // counts {1,0}
+	c.AddSet(3, []graph.NodeID{3, 2})
+	c.AddSet(2, []graph.NodeID{2}) // uncounted tail
+	res.Remove(3)
+	if kept := c.Filter(res); kept != 2 {
+		t.Fatalf("kept %d sets, want 2", kept)
+	}
+	// {3,2} was never counted, so its drop must not touch node 2's count.
+	if cov.Count(2) != 0 {
+		t.Fatalf("node 2 count %d before Update, want 0", cov.Count(2))
+	}
+	cov.Update()
+	checkCoverageMatchesIndex(t, c, cov, "after tail update")
+}
+
+// TestBatcherAccountingAndReuse: the shared draw/filter/top-up cycle must
+// reproduce the accounting the adaptive loop and oracle.RIS used to keep
+// by hand: reused counts the survivors of Sync, drawn/requested the
+// top-ups, and reuse-off resets instead of filtering.
+func TestBatcherAccountingAndReuse(t *testing.T) {
+	g := wcTestGraph(t)
+	res := graph.NewResidual(g)
+	b := NewBatcher(cascade.IC)
+	b.EnableCoverage()
+	parent := rng.New(43)
+	if n := b.GrowTo(res, parent, 500, 2); n != 500 {
+		t.Fatalf("GrowTo returned %d, want 500", n)
+	}
+	if b.Drawn() != 500 || b.Requested() != 500 || b.Batches() != 1 || b.Reused() != 0 {
+		t.Fatalf("fresh grow accounting drawn=%d requested=%d batches=%d reused=%d",
+			b.Drawn(), b.Requested(), b.Batches(), b.Reused())
+	}
+	// Growing to a target at or below Len draws nothing.
+	if b.GrowTo(res, parent, 400, 2); b.Drawn() != 500 || b.Batches() != 1 {
+		t.Fatalf("no-op grow drew sets: drawn=%d batches=%d", b.Drawn(), b.Batches())
+	}
+	res.Remove(3)
+	kept := b.Sync(res)
+	if kept <= 0 || kept >= 500 {
+		t.Fatalf("Sync kept %d of 500 after removing a hub-adjacent node", kept)
+	}
+	if b.Reused() != int64(kept) {
+		t.Fatalf("reused %d, want %d", b.Reused(), kept)
+	}
+	b.GrowTo(res, parent, 500, 2)
+	if b.Len() != 500 || b.Drawn() != int64(500+500-kept) {
+		t.Fatalf("top-up len=%d drawn=%d (kept=%d)", b.Len(), b.Drawn(), kept)
+	}
+	checkCoverageMatchesIndex(t, b.Collection(), b.cov, "after top-up")
+	if b.PeakBytes() <= 0 || b.SamplingNS() < 0 {
+		t.Fatalf("degenerate accounting peak=%d ns=%d", b.PeakBytes(), b.SamplingNS())
+	}
+
+	// Reuse off: Sync resets, keeps nothing, reuses nothing.
+	b2 := NewBatcher(cascade.IC)
+	b2.SetReuse(false)
+	parent2 := rng.New(43)
+	res2 := graph.NewResidual(g)
+	b2.GrowTo(res2, parent2, 300, 2)
+	res2.Remove(3)
+	if kept := b2.Sync(res2); kept != 0 || b2.Reused() != 0 || b2.Len() != 0 {
+		t.Fatalf("no-reuse Sync kept=%d reused=%d len=%d", kept, b2.Reused(), b2.Len())
+	}
+}
+
+// TestBatcherWarmLoopNoAllocs extends the PR 3 allocation budget to the
+// sequential controller's batch loop: once the batcher is warm (arena,
+// coverage counts, pool scratch all grown), a filter + top-up + coverage
+// round performs zero allocations.
+func TestBatcherWarmLoopNoAllocs(t *testing.T) {
+	g := wcTestGraph(t)
+	b := NewBatcher(cascade.IC)
+	b.EnableCoverage()
+	parent := rng.New(47)
+	// Warm up: grow past the steady-state target once so the arena and
+	// index-free coverage storage reach capacity.
+	res := graph.NewResidual(g)
+	b.GrowTo(res, parent, 3000, 1)
+	next := graph.NodeID(1)
+	avg := testing.AllocsPerRun(20, func() {
+		res.Remove(next) // mutate so Sync actually filters
+		next++
+		b.Sync(res)
+		b.GrowTo(res, parent, 3000, 1)
+		for u := 0; u < 50; u++ {
+			_ = b.Count(graph.NodeID(u))
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm batcher round allocates %.1f per cycle, want 0", avg)
+	}
+}
