@@ -1,23 +1,29 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
-	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/sweep"
 )
 
 // benchOutput is the BENCH_*.json document: the grid definition plus one
 // resultRow per completed cell (failed cells are recorded with an error).
+// Model is the single diffusion model of a `repro bench` run; Models is
+// set instead when the source is a multi-model sweep journal rendered
+// through `repro report`.
 type benchOutput struct {
 	Datasets     []string     `json:"datasets"`
 	Algos        []string     `json:"algos"`
 	CostSettings []string     `json:"cost_settings"`
-	Model        string       `json:"model"`
+	Model        string       `json:"model,omitempty"`
+	Models       []string     `json:"models,omitempty"`
 	Scale        float64      `json:"scale"`
 	Seed         uint64       `json:"seed"`
 	Sampler      string       `json:"sampler,omitempty"`
@@ -40,6 +46,11 @@ func splitList(s string, all []string) []string {
 	return out
 }
 
+// cmdBench is the single-model wrapper over the sweep orchestrator: one
+// grid of datasets × cost settings × algorithms under a pinned diffusion
+// model, emitted as one BENCH_*.json. The orchestration — shared
+// instance preparation per (dataset, cost) group, grid-ordered rows —
+// lives in internal/sweep; bench only shapes the output document.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	datasets := fs.String("datasets", "nethept-s", "comma-separated datasets (or 'all')")
@@ -47,83 +58,89 @@ func cmdBench(args []string) error {
 	costs := fs.String("costs", "all", "comma-separated cost settings (or 'all')")
 	model := fs.String("model", "ic", "diffusion model: ic or lt")
 	out := fs.String("out", "BENCH_results.json", "output file (BENCH_*.json)")
-	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps, sampler := runFlags(fs)
+	var spec sweep.Spec
+	specFlags(fs, &spec)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := parseModel(*model)
+	m, err := sweep.ParseModel(*model)
 	if err != nil {
 		return err
 	}
-	if err := validateSampler(*sampler); err != nil {
+	if err := checkSpecFlags(&spec); err != nil {
 		return err
 	}
-	allDatasets := []string{"nethept-s", "epinions-s", "dblp-s", "livejournal-s"}
-	allCosts := []string{"degree-proportional", "uniform", "random"}
+	spec.Datasets = splitList(*datasets, sweep.AllDatasets())
+	spec.Algos = splitList(*algos, adaptive.Algorithms)
+	spec.CostSettings = splitList(*costs, sweep.AllCostSettings)
+	spec.Models = []string{*model}
+	spec.SetDefaults()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	res, err := sweep.Run(context.Background(), &spec, sweep.Options{Log: os.Stderr})
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		warnShortfall(row)
+	}
 	grid := benchOutput{
-		Datasets:     splitList(*datasets, allDatasets),
-		Algos:        splitList(*algos, adaptive.Algorithms),
-		CostSettings: splitList(*costs, allCosts),
+		Datasets:     spec.Datasets,
+		Algos:        spec.Algos,
+		CostSettings: spec.CostSettings,
 		Model:        m.String(),
-		Scale:        *scale,
-		Seed:         *seed,
-		Sampler:      *sampler,
+		Scale:        spec.Scale,
+		Seed:         spec.Seed,
+		Sampler:      spec.Sampler,
+		WallMS:       res.WallMS,
+		Rows:         res.Rows,
+		Errors:       res.Errors,
 	}
-	for _, algo := range grid.Algos {
-		if err := validateAlgo(algo); err != nil {
-			return err
-		}
-	}
-	start := time.Now()
-	for _, ds := range grid.Datasets {
-		for _, costName := range grid.CostSettings {
-			cs, err := parseCostSetting(costName)
-			if err != nil {
-				return err
-			}
-			cfg := runConfig{
-				dataset: ds, scale: *scale, model: m, costSetting: cs,
-				k: *k, reps: *reps, seed: *seed, zeta: *zeta, eps: *eps, delta: *delta,
-				adgTheta: *adgTheta, nsgTheta: *nsgTheta, workers: *workers, immEps: *immEps,
-				sampler: *sampler,
-			}
-			// The prepared instance (graph + IMM targets + calibrated costs)
-			// is algorithm-independent; build it once per (dataset, cost).
-			fmt.Fprintf(os.Stderr, "bench: preparing %s/%s...\n", ds, costName)
-			p, err := prepare(cfg)
-			if err != nil {
-				grid.Errors = append(grid.Errors, fmt.Sprintf("%s/%s: %v", ds, costName, err))
-				continue
-			}
-			for _, algo := range grid.Algos {
-				cell := fmt.Sprintf("%s/%s/%s", ds, costName, algo)
-				fmt.Fprintf(os.Stderr, "bench: %s...\n", cell)
-				cfg.algo = algo
-				row, err := execute(cfg, p)
-				if err != nil {
-					grid.Errors = append(grid.Errors, fmt.Sprintf("%s: %v", cell, err))
-					continue
-				}
-				warnShortfall(row)
-				grid.Rows = append(grid.Rows, row)
-			}
-		}
-	}
-	grid.WallMS = time.Since(start).Milliseconds()
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(grid); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := writeBenchJSON(*out, &grid); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %d rows (%d errors) to %s in %dms\n",
 		len(grid.Rows), len(grid.Errors), *out, grid.WallMS)
+	return nil
+}
+
+// writeBenchJSON writes the grid atomically: encode into a temp file in
+// the destination directory, fsync, then rename over the target. On any
+// failure the rows are dumped to stdout before returning the error, so a
+// finished grid is never lost to an output problem — the historical
+// failure mode was an os.Create error at the very end discarding every
+// computed row.
+func writeBenchJSON(path string, grid *benchOutput) error {
+	err := func() error {
+		tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+		if err != nil {
+			return err
+		}
+		defer os.Remove(tmp.Name()) // no-op once the rename has happened
+		enc := json.NewEncoder(tmp)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(grid); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), path)
+	}()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing %s failed (%v); dumping rows to stdout\n", path, err)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if dumpErr := enc.Encode(grid); dumpErr != nil {
+			return fmt.Errorf("write %s: %v (stdout dump also failed: %v)", path, err, dumpErr)
+		}
+		return fmt.Errorf("write %s: %w (rows dumped to stdout)", path, err)
+	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchGoldenArgs is the tiny grid pinned by testdata/BENCH_golden_tiny.json.
+var benchGoldenArgs = []string{
+	"--datasets", "nethept-s", "--algos", "all-targets,nsg", "--costs", "uniform",
+	"--model", "ic", "--scale", "0.004", "--k", "5", "--reps", "2",
+	"--nsg-theta", "2000", "--seed", "7",
+}
+
+// normalizedBench loads a BENCH document and renders it with the
+// volatile wall-clock fields zeroed, leaving the seed-deterministic
+// payload.
+func normalizedBench(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b benchOutput
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	b.WallMS = 0
+	for _, r := range b.Rows {
+		r.WallMS = 0
+		r.SetupMS = 0
+		r.SamplingMS = 0
+		r.RRPerSec = 0
+	}
+	out, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestBenchGoldenTiny pins `repro bench`'s output — now produced through
+// the internal/sweep orchestrator — to a committed fixture: same grid,
+// same seed, byte-identical document modulo wall-clock fields. Any
+// change to row schema, seeding, or orchestration that alters results
+// shows up as a diff here.
+func TestBenchGoldenTiny(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_out.json")
+	if err := cmdBench(append(append([]string(nil), benchGoldenArgs...), "--out", out)); err != nil {
+		t.Fatal(err)
+	}
+	got := normalizedBench(t, out)
+	want := normalizedBench(t, filepath.Join("testdata", "BENCH_golden_tiny.json"))
+	if got != want {
+		t.Fatalf("bench output diverged from golden fixture:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteBenchJSONAtomic covers the all-or-nothing fix: the output is
+// written via temp file + rename (no torn BENCH file on failure), and a
+// write error surfaces the rows instead of discarding the grid.
+func TestWriteBenchJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	grid := &benchOutput{Model: "IC", Rows: []*resultRow{{Algo: "nsg", Dataset: "nethept-s"}}}
+	path := filepath.Join(dir, "BENCH_a.json")
+	if err := writeBenchJSON(path, grid); err != nil {
+		t.Fatal(err)
+	}
+	var back benchOutput
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 1 || back.Rows[0].Algo != "nsg" {
+		t.Fatalf("round trip lost rows: %+v", back)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	// Unwritable destination: the error must surface, not silently drop
+	// the grid (rows are additionally dumped to stdout).
+	if err := writeBenchJSON(filepath.Join(dir, "no-such-dir", "BENCH_b.json"), grid); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+}

@@ -8,17 +8,14 @@
 //	repro gen    --dataset nethept-s [--scale 0.1] [--out g.txt]
 //	repro run    --algo addatp --dataset nethept-s --model ic --cost degree-proportional
 //	repro bench  [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
-//	repro report [--out EXPERIMENTS.md] [BENCH_*.json ...]
+//	repro sweep  [--datasets all] [--models all] [--journal SWEEP_x.jsonl] [--resume] [--parallel 4]
+//	repro report [--out EXPERIMENTS.md] [BENCH_*.json | SWEEP_*.jsonl ...]
 package main
 
 import (
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/adaptive"
-	"repro/internal/cascade"
-	"repro/internal/cost"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -36,6 +33,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
@@ -57,8 +56,9 @@ func usage() {
 subcommands:
   gen     materialize a Table II stand-in dataset (stats to stdout, graph to --out)
   run     execute one algorithm on one dataset/model/cost configuration
-  bench   sweep algorithms x datasets x cost settings into a BENCH_*.json
-  report  render BENCH_*.json files into EXPERIMENTS.md (Figures 2-4 tables)
+  bench   run a single-model grid of algorithms x datasets x costs into a BENCH_*.json
+  sweep   run a resumable datasets x models x costs x algorithms grid with a JSONL journal
+  report  render BENCH_*.json / SWEEP_*.jsonl files into EXPERIMENTS.md (Table II layout)
 
 run 'repro <subcommand> -h' for flags.
 `)
@@ -75,49 +75,4 @@ func buildDataset(name string, scale float64) (*graph.Graph, gen.DatasetSpec, er
 		return nil, spec, err
 	}
 	return g, spec, nil
-}
-
-// validateAlgo rejects unknown algorithm names before any expensive
-// dataset/instance preparation happens.
-func validateAlgo(name string) error {
-	for _, a := range adaptive.Algorithms {
-		if a == name {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown algorithm %q (have %v)", name, adaptive.Algorithms)
-}
-
-// validateSampler rejects unknown stopping-rule policy names.
-func validateSampler(name string) error {
-	for _, p := range adaptive.SamplingPolicies {
-		if p == name {
-			return nil
-		}
-	}
-	return fmt.Errorf("unknown sampler %q (have %v)", name, adaptive.SamplingPolicies)
-}
-
-func parseModel(s string) (cascade.Model, error) {
-	switch strings.ToLower(s) {
-	case "ic":
-		return cascade.IC, nil
-	case "lt":
-		return cascade.LT, nil
-	default:
-		return 0, fmt.Errorf("unknown diffusion model %q (have ic, lt)", s)
-	}
-}
-
-func parseCostSetting(s string) (cost.Setting, error) {
-	switch strings.ToLower(s) {
-	case "degree-proportional", "degree":
-		return cost.DegreeProportional, nil
-	case "uniform":
-		return cost.Uniform, nil
-	case "random":
-		return cost.Random, nil
-	default:
-		return 0, fmt.Errorf("unknown cost setting %q (have degree-proportional, uniform, random)", s)
-	}
 }

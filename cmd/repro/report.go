@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -11,13 +12,17 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/gen"
+	"repro/internal/sweep"
 )
 
-// cmdReport turns one or more BENCH_*.json files (written by `repro
-// bench`) into an EXPERIMENTS.md with the paper's Figures 2–4 style
-// tables: realized profit, adaptive rounds, and RR-set sampling cost per
-// algorithm × dataset × cost setting, plus the reuse/memory columns the
-// CSR arena added. Regenerating from checked-in fixtures is
+// cmdReport turns one or more experiment result files — BENCH_*.json
+// from `repro bench` and/or SWEEP_*.jsonl journals from `repro sweep` —
+// into an EXPERIMENTS.md with the paper's Figures 2–4 style tables:
+// realized profit, adaptive rounds, and RR-set sampling cost per
+// algorithm × dataset × cost setting. Inputs sharing (scale, seed,
+// sampler) are merged into one section with the diffusion model as a row
+// dimension, so the committed IC and LT fixtures render into a single
+// Table II layout. Regenerating from checked-in fixtures is
 // deterministic, so CI can diff the output against the committed file.
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
@@ -27,14 +32,16 @@ func cmdReport(args []string) error {
 	}
 	inputs := fs.Args()
 	if len(inputs) == 0 {
-		matches, err := filepath.Glob("BENCH_*.json")
-		if err != nil {
-			return err
+		for _, pattern := range []string{"BENCH_*.json", "SWEEP_*.jsonl"} {
+			matches, err := filepath.Glob(pattern)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, matches...)
 		}
-		inputs = matches
 	}
 	if len(inputs) == 0 {
-		return fmt.Errorf("report: no input files (pass BENCH_*.json paths or run `repro bench` first)")
+		return fmt.Errorf("report: no input files (pass BENCH_*.json / SWEEP_*.jsonl paths or run `repro bench` first)")
 	}
 	sort.Strings(inputs)
 	var benches []*benchOutput
@@ -49,21 +56,79 @@ func cmdReport(args []string) error {
 	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "report: wrote %s from %d bench file(s)\n", *out, len(inputs))
+	fmt.Fprintf(os.Stderr, "report: wrote %s from %d input file(s)\n", *out, len(inputs))
 	return nil
 }
 
+// readBench loads one input as a benchOutput, converting sweep journals
+// (detected by a leading spec record, regardless of extension) on the
+// fly.
 func readBench(path string) (*benchOutput, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	if isJournal(data) {
+		records, err := sweep.ParseJournal(data)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", path, err)
+		}
+		b, err := journalToBench(records)
+		if err != nil {
+			return nil, fmt.Errorf("report: %s: %w", path, err)
+		}
+		return b, nil
+	}
 	var b benchOutput
-	if err := json.NewDecoder(f).Decode(&b); err != nil {
+	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("report: %s: %w", path, err)
 	}
 	return &b, nil
+}
+
+// isJournal reports whether the file's first line is a sweep spec record.
+func isJournal(data []byte) bool {
+	line := data
+	if i := bytes.IndexByte(data, '\n'); i >= 0 {
+		line = data[:i]
+	}
+	var rec struct {
+		Type string `json:"type"`
+	}
+	return json.Unmarshal(line, &rec) == nil && rec.Type == "spec"
+}
+
+// journalToBench shapes a sweep journal like a bench document so both
+// render through the same tables. Multi-model journals set Models; the
+// per-record wall times sum into WallMS.
+func journalToBench(records []sweep.Record) (*benchOutput, error) {
+	spec, err := sweep.JournalSpec(records)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := sweep.CellRecords(records)
+	if err != nil {
+		return nil, err
+	}
+	b := &benchOutput{
+		Datasets:     spec.Datasets,
+		Algos:        spec.Algos,
+		CostSettings: spec.CostSettings,
+		Models:       spec.Models,
+		Scale:        spec.Scale,
+		Seed:         spec.Seed,
+		Sampler:      spec.Sampler,
+	}
+	for _, rec := range cells {
+		b.WallMS += rec.ElapsedMS
+		switch {
+		case rec.Row != nil:
+			b.Rows = append(b.Rows, rec.Row)
+		case rec.Err != "":
+			b.Errors = append(b.Errors, fmt.Sprintf("%s: %s", rec.Key, rec.Err))
+		}
+	}
+	return b, nil
 }
 
 // metric extracts one table cell value from a row, already formatted.
@@ -136,60 +201,186 @@ var reportMetrics = []metric{
 	},
 }
 
+// reportSection is one rendered section: every input sharing (scale,
+// seed, sampler) merged into a single Table II layout with the diffusion
+// model as a row dimension — IC and LT fixtures of one configuration
+// render as one set of tables.
+type reportSection struct {
+	scale    float64
+	seed     uint64
+	sampler  string
+	k        int
+	models   []string
+	datasets []string
+	costs    []string
+	algos    []string
+	rows     map[string]*resultRow // dataset \x00 model \x00 cost \x00 algo
+	reps     int
+	wallMS   int64
+	errors   []string
+}
+
+// benchModels returns the models a source covers in display form
+// ("IC"/"LT"); bench documents carry one, sweep journals possibly many.
+func benchModels(bench *benchOutput) []string {
+	names := bench.Models
+	if len(names) == 0 && bench.Model != "" {
+		names = []string{bench.Model}
+	}
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		if m, err := sweep.ParseModel(name); err == nil {
+			out = append(out, m.String())
+		} else {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func appendUnique(dst []string, src ...string) []string {
+	for _, s := range src {
+		seen := false
+		for _, d := range dst {
+			if d == s {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+// mergeSections groups the inputs by (scale, seed, sampler, k, reps) in
+// first-appearance order and merges each group's axes and rows. k and
+// reps come from the source's rows: without them in the key, two benches
+// of the same seed but different --k would silently overwrite each
+// other's cells last-wins.
+func mergeSections(benches []*benchOutput) []*reportSection {
+	var sections []*reportSection
+	byKey := make(map[string]*reportSection)
+	for _, bench := range benches {
+		k, reps := 0, 0
+		if len(bench.Rows) > 0 {
+			k, reps = bench.Rows[0].K, bench.Rows[0].Realizations
+		}
+		key := fmt.Sprintf("%g\x00%d\x00%s\x00%d\x00%d", bench.Scale, bench.Seed, bench.Sampler, k, reps)
+		sec, ok := byKey[key]
+		if !ok {
+			sec = &reportSection{
+				scale: bench.Scale, seed: bench.Seed, sampler: bench.Sampler, k: k,
+				rows: make(map[string]*resultRow),
+			}
+			byKey[key] = sec
+			sections = append(sections, sec)
+		}
+		bm := benchModels(bench)
+		sec.models = appendUnique(sec.models, bm...)
+		sec.datasets = appendUnique(sec.datasets, bench.Datasets...)
+		sec.costs = appendUnique(sec.costs, bench.CostSettings...)
+		sec.algos = appendUnique(sec.algos, bench.Algos...)
+		sec.wallMS += bench.WallMS
+		sec.errors = append(sec.errors, bench.Errors...)
+		for _, r := range bench.Rows {
+			model := r.Model
+			if model == "" && len(bm) == 1 {
+				// Rows written before the model column existed inherit the
+				// document's single model.
+				model = bm[0]
+			}
+			sec.rows[r.Dataset+"\x00"+model+"\x00"+r.CostSetting+"\x00"+r.Algo] = r
+			sec.reps = r.Realizations
+		}
+	}
+	return sections
+}
+
 // renderReport builds the full EXPERIMENTS.md document.
 func renderReport(benches []*benchOutput, inputs []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# EXPERIMENTS\n\n")
 	fmt.Fprintf(&b, "Generated by `repro report` from: %s. Do not edit by hand —\n", strings.Join(inputs, ", "))
-	fmt.Fprintf(&b, "regenerate with `repro report --out EXPERIMENTS.md <BENCH_*.json>`.\n\n")
-	fmt.Fprintf(&b, "Each section reproduces one of the paper's Figures 2–4 measurements on\n")
-	fmt.Fprintf(&b, "the Table II stand-in datasets; rows are datasets, columns algorithms,\n")
-	fmt.Fprintf(&b, "one table per cost setting.\n")
+	fmt.Fprintf(&b, "regenerate with `repro report --out EXPERIMENTS.md <BENCH_*.json | SWEEP_*.jsonl>`.\n\n")
+	fmt.Fprintf(&b, "Each section reproduces the paper's Figures 2–4 measurements on the\n")
+	fmt.Fprintf(&b, "Table II stand-in datasets; rows are dataset × diffusion model, columns\n")
+	fmt.Fprintf(&b, "algorithms, one table per cost setting. Inputs sharing (scale, seed,\n")
+	fmt.Fprintf(&b, "sampler) are merged into one section.\n")
 
-	for _, bench := range benches {
-		if bench.Sampler != "" {
-			fmt.Fprintf(&b, "\n## model=%s scale=%g seed=%d sampler=%s\n\n", bench.Model, bench.Scale, bench.Seed, bench.Sampler)
-		} else {
-			fmt.Fprintf(&b, "\n## model=%s scale=%g seed=%d\n\n", bench.Model, bench.Scale, bench.Seed)
+	for _, sec := range mergeSections(benches) {
+		models := orderedModels(sec.models)
+		fmt.Fprintf(&b, "\n## models=%s scale=%g seed=%d", strings.Join(models, "+"), sec.scale, sec.seed)
+		if sec.sampler != "" {
+			fmt.Fprintf(&b, " sampler=%s", sec.sampler)
 		}
-		rows := make(map[string]*resultRow, len(bench.Rows))
-		var reps int
-		for _, r := range bench.Rows {
-			rows[r.Dataset+"\x00"+r.CostSetting+"\x00"+r.Algo] = r
-			reps = r.Realizations
+		if sec.k > 0 {
+			fmt.Fprintf(&b, " k=%d", sec.k)
 		}
-		fmt.Fprintf(&b, "%d row(s), %d realization(s) per cell, wall %dms.\n", len(bench.Rows), reps, bench.WallMS)
+		fmt.Fprintf(&b, "\n\n")
+		// len(sec.rows) rather than a running count: distinct sources can
+		// legitimately re-measure the same cell, and the tables render the
+		// merged (last-wins) view.
+		fmt.Fprintf(&b, "%d row(s), %d realization(s) per cell, wall %dms.\n", len(sec.rows), sec.reps, sec.wallMS)
 
-		datasets := orderedDatasets(bench.Datasets)
-		algos := orderedAlgos(bench.Algos)
+		datasets := orderedDatasets(sec.datasets)
+		algos := orderedAlgos(sec.algos)
 		for _, m := range reportMetrics {
 			fmt.Fprintf(&b, "\n### %s\n\n%s\n", m.title, m.note)
-			for _, cost := range bench.CostSettings {
+			for _, cost := range sec.costs {
 				fmt.Fprintf(&b, "\nCost setting: **%s**\n\n", cost)
 				fmt.Fprintf(&b, "| dataset | %s |\n", strings.Join(algos, " | "))
 				fmt.Fprintf(&b, "|---|%s\n", strings.Repeat("---|", len(algos)))
 				for _, ds := range datasets {
-					cells := make([]string, len(algos))
-					for i, algo := range algos {
-						if r, ok := rows[ds+"\x00"+cost+"\x00"+algo]; ok {
-							cells[i] = m.cell(r)
-						} else {
-							cells[i] = "—"
+					for _, model := range models {
+						label := ds
+						if len(models) > 1 {
+							label = fmt.Sprintf("%s (%s)", ds, model)
 						}
+						cells := make([]string, len(algos))
+						for i, algo := range algos {
+							if r, ok := sec.rows[ds+"\x00"+model+"\x00"+cost+"\x00"+algo]; ok {
+								cells[i] = m.cell(r)
+							} else {
+								cells[i] = "—"
+							}
+						}
+						fmt.Fprintf(&b, "| %s | %s |\n", label, strings.Join(cells, " | "))
 					}
-					fmt.Fprintf(&b, "| %s | %s |\n", ds, strings.Join(cells, " | "))
 				}
 			}
 		}
-		if len(bench.Errors) > 0 {
+		if len(sec.errors) > 0 {
 			fmt.Fprintf(&b, "\n### Errors\n\n")
-			for _, e := range bench.Errors {
+			for _, e := range sec.errors {
 				fmt.Fprintf(&b, "- %s\n", e)
 			}
 		}
 	}
 	renderSamplerComparison(&b, benches)
 	return b.String()
+}
+
+// orderedModels returns model names IC-first, unknown names last.
+func orderedModels(names []string) []string {
+	rank := map[string]int{"IC": 0, "LT": 1}
+	out := append([]string(nil), names...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, iok := rank[out[i]]
+		rj, jok := rank[out[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return out[i] < out[j]
+		}
+	})
+	return out
 }
 
 // rowSampler normalizes a row's sampler label: rows written before the

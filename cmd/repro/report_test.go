@@ -31,7 +31,7 @@ func TestRenderReportTables(t *testing.T) {
 	md := renderReport([]*benchOutput{sampleBench()}, []string{"BENCH_x.json"})
 	for _, want := range []string{
 		"# EXPERIMENTS",
-		"## model=ic scale=0.05 seed=1",
+		"## models=IC scale=0.05 seed=1",
 		"### Profit",
 		"### Rounds",
 		"### RR sets drawn",
@@ -127,8 +127,8 @@ func seqFixedBenches() []*benchOutput {
 func TestRenderSamplerComparison(t *testing.T) {
 	md := renderReport(seqFixedBenches(), []string{"BENCH_f.json", "BENCH_s.json"})
 	for _, want := range []string{
-		"## model=IC scale=0.1 seed=1 sampler=fixed",
-		"## model=IC scale=0.1 seed=1 sampler=seq",
+		"## models=IC scale=0.1 seed=1 sampler=fixed",
+		"## models=IC scale=0.1 seed=1 sampler=seq",
 		"## Sequential vs fixed sampling",
 		"| nethept-s · uniform · IC · scale 0.1 · seed 1 · k 50 · 2 reps · addatp | 1000000 | 100000 | 10.0× | 100.00 | 98.00 | 2 → 2 |",
 		"### Stopping-rule telemetry",

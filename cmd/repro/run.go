@@ -5,201 +5,54 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/adaptive"
-	"repro/internal/cascade"
-	"repro/internal/cost"
-	"repro/internal/gen"
-	"repro/internal/graph"
-	"repro/internal/imm"
+	"repro/internal/sweep"
 )
 
-// runConfig is one fully resolved experiment configuration.
-type runConfig struct {
-	algo        string
-	dataset     string
-	scale       float64
-	model       cascade.Model
-	costSetting cost.Setting
-	k           int
-	reps        int
-	seed        uint64
-	zeta        float64
-	eps         float64
-	delta       float64
-	adgTheta    int
-	nsgTheta    int
-	workers     int
-	immEps      float64
-	sampler     string
-}
+// resultRow is one experiment row — sweep.Row, the shared currency of
+// `repro run` (stdout), `repro bench` (BENCH_*.json), and `repro sweep`
+// (SWEEP_*.jsonl journals).
+type resultRow = sweep.Row
 
-// runFlags registers the flags shared by `run` and `bench`.
-func runFlags(fs *flag.FlagSet) (k, reps, adgTheta, nsgTheta, workers *int, seed *uint64, scale, zeta, eps, delta, immEps *float64, sampler *string) {
-	k = fs.Int("k", 50, "target set size |T| picked by IMM")
-	reps = fs.Int("reps", 3, "realizations to average over")
-	adgTheta = fs.Int("adg-theta", 10_000, "RR sets per residual version for ADG's RIS oracle")
-	nsgTheta = fs.Int("nsg-theta", 20_000, "RR sets for the nonadaptive greedy baseline")
-	workers = fs.Int("workers", 0, "parallel RR workers (0 = GOMAXPROCS)")
-	seed = fs.Uint64("seed", 1, "root seed (runs are deterministic given it)")
-	scale = fs.Float64("scale", 0.1, "dataset scale factor (1 = paper size)")
-	zeta = fs.Float64("zeta", 0.05, "additive error ζ for ADDATP/HATP")
-	eps = fs.Float64("eps", 0.2, "relative error ε for HATP")
-	delta = fs.Float64("delta", 0.1, "failure probability δ for ADDATP/HATP")
-	immEps = fs.Float64("imm-eps", 0.5, "IMM approximation slack for target selection")
-	sampler = fs.String("sampler", adaptive.PolicySequential,
+// specFlags registers the shared experiment parameters of run, bench,
+// and sweep, writing straight into a sweep.Spec.
+func specFlags(fs *flag.FlagSet, s *sweep.Spec) {
+	fs.IntVar(&s.K, "k", 50, "target set size |T| picked by IMM")
+	fs.IntVar(&s.Reps, "reps", 3, "realizations to average over")
+	fs.IntVar(&s.ADGTheta, "adg-theta", 10_000, "RR sets per residual version for ADG's RIS oracle")
+	fs.IntVar(&s.NSGTheta, "nsg-theta", 20_000, "RR sets for the nonadaptive greedy baseline")
+	fs.IntVar(&s.Workers, "workers", 0, "parallel RR/selection workers per cell (0 = GOMAXPROCS)")
+	fs.Uint64Var(&s.Seed, "seed", 1, "root seed (runs are deterministic given it)")
+	fs.Float64Var(&s.Scale, "scale", 0.1, "dataset scale factor (1 = paper size)")
+	fs.Float64Var(&s.Zeta, "zeta", 0.05, "additive error ζ for ADDATP/HATP")
+	fs.Float64Var(&s.Eps, "eps", 0.2, "relative error ε for HATP")
+	fs.Float64Var(&s.Delta, "delta", 0.1, "failure probability δ for ADDATP/HATP")
+	fs.Float64Var(&s.ImmEps, "imm-eps", 0.5, "IMM approximation slack for target selection")
+	fs.StringVar(&s.Sampler, "sampler", adaptive.PolicySequential,
 		fmt.Sprintf("RR sampling stopping rule for ADDATP/HATP: %v (fixed = paper-faithful attempt loop)", adaptive.SamplingPolicies))
-	return
 }
 
-// resultRow is the JSON emitted by `repro run` and collected by `bench`.
-type resultRow struct {
-	Algo        string  `json:"algo"`
-	Dataset     string  `json:"dataset"`
-	Scale       float64 `json:"scale"`
-	Model       string  `json:"model"`
-	CostSetting string  `json:"cost_setting"`
-	N           int     `json:"n"`
-	M           int64   `json:"m"`
-	K           int     `json:"k"`
-	Targets     int     `json:"targets"`
-	Budget      float64 `json:"budget"`
-
-	Realizations int     `json:"realizations"`
-	AvgProfit    float64 `json:"profit"`
-	AvgSpread    float64 `json:"spread"`
-	AvgCost      float64 `json:"cost"`
-	AvgRounds    float64 `json:"rounds"`
-	MinProfit    float64 `json:"min_profit"`
-	MaxProfit    float64 `json:"max_profit"`
-
-	RRDrawn     int64 `json:"rr_drawn"`
-	RRRequested int64 `json:"rr_requested"`
-	// RRReused counts draws avoided by cross-round RR-set reuse (validity
-	// filtering); RRPeakBytes is the largest RR-collection footprint any
-	// realization reached. Both are deterministic for a fixed seed.
-	RRReused    int64 `json:"rr_reused"`
-	RRPeakBytes int64 `json:"rr_peak_bytes"`
-	// SamplingMS is the wall time spent inside RR generation across all
-	// realizations; RRPerSec = RRDrawn / that time is the sampling
-	// throughput, the number BENCH files track across PRs.
-	SamplingMS int64   `json:"sampling_ms"`
-	RRPerSec   float64 `json:"rr_per_sec"`
-	Fallbacks  int     `json:"fallbacks"`
-	// Stopping-rule telemetry (sampling policies only): which controller
-	// ran, how many certification looks it took, how many RR batches were
-	// actually drawn, and how many rounds certified below the sampling
-	// frontier instead of falling back to the point estimate.
-	Sampler        string `json:"sampler,omitempty"`
-	Attempts       int    `json:"attempts"`
-	RRBatches      int    `json:"rr_batches"`
-	CertifiedEarly int    `json:"certified_early"`
-
-	ImmTheta          int   `json:"imm_theta"`
-	ImmThetaRequested int   `json:"imm_theta_requested"`
-	ImmTotalRR        int64 `json:"imm_total_rr"`
-	ImmPeakRRBytes    int64 `json:"imm_peak_rr_bytes"`
-
-	Seed    uint64 `json:"seed"`
-	SetupMS int64  `json:"setup_ms"` // dataset gen + IMM + cost calibration (shared across a bench row group)
-	WallMS  int64  `json:"wall_ms"`  // algorithm execution only
-}
-
-// preparedInstance is the algorithm-independent part of a configuration:
-// the materialized graph plus IMM targets and calibrated costs. bench
-// prepares once per (dataset, cost setting) and reuses it for every
-// algorithm.
-type preparedInstance struct {
-	g       *graph.Graph
-	spec    gen.DatasetSpec
-	inst    *adaptive.Instance
-	immRes  *imm.Result
-	setupMS int64
-}
-
-// prepare materializes the dataset and builds the experiment instance
-// (IMM targets + spread-calibrated costs).
-func prepare(cfg runConfig) (*preparedInstance, error) {
-	start := time.Now()
-	g, spec, err := buildDataset(cfg.dataset, cfg.scale)
-	if err != nil {
-		return nil, err
+// checkSpecFlags rejects explicitly non-positive parameter flags. Every
+// specFlags default is positive, so a zero or negative here is always an
+// explicit `--reps 0`-style request — which must keep failing fast, as
+// it always did; sweep.Spec treats 0 as "use the default" only for
+// fields omitted from spec documents.
+func checkSpecFlags(s *sweep.Spec) error {
+	switch {
+	case s.Reps <= 0:
+		return fmt.Errorf("reps must be positive, got %d", s.Reps)
+	case s.Scale <= 0:
+		return fmt.Errorf("scale must be positive, got %g", s.Scale)
+	case s.K <= 0:
+		return fmt.Errorf("k must be positive, got %d", s.K)
+	case s.Zeta <= 0 || s.Eps <= 0 || s.Delta <= 0 || s.ImmEps <= 0:
+		return fmt.Errorf("zeta/eps/delta/imm-eps must be positive (got %g/%g/%g/%g)",
+			s.Zeta, s.Eps, s.Delta, s.ImmEps)
+	case s.ADGTheta <= 0 || s.NSGTheta <= 0:
+		return fmt.Errorf("adg-theta/nsg-theta must be positive (got %d/%d)", s.ADGTheta, s.NSGTheta)
 	}
-	inst, immRes, err := adaptive.Prepare(g, cfg.model, adaptive.Setup{
-		K:           cfg.k,
-		CostSetting: cfg.costSetting,
-		ImmEps:      cfg.immEps,
-		Seed:        cfg.seed,
-		Workers:     cfg.workers,
-		Sampler:     cfg.sampler,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &preparedInstance{
-		g: g, spec: spec, inst: inst, immRes: immRes,
-		setupMS: time.Since(start).Milliseconds(),
-	}, nil
-}
-
-// execute runs the configured algorithm over cfg.reps realizations of a
-// prepared instance.
-func execute(cfg runConfig, p *preparedInstance) (*resultRow, error) {
-	start := time.Now()
-	opts := adaptive.RunOptions{
-		Sampling: adaptive.SamplingOptions{
-			Policy:  cfg.sampler,
-			Zeta:    cfg.zeta,
-			Eps:     cfg.eps,
-			Delta:   cfg.delta,
-			Workers: cfg.workers,
-		},
-		ADGTheta: cfg.adgTheta,
-		NSGTheta: cfg.nsgTheta,
-	}
-	rep, err := adaptive.RunExperiment(p.inst, cfg.algo, cfg.reps, opts, cfg.seed+100)
-	if err != nil {
-		return nil, err
-	}
-	g, spec, inst, immRes := p.g, p.spec, p.inst, p.immRes
-	return &resultRow{
-		Algo:              cfg.algo,
-		Dataset:           spec.Name,
-		Scale:             cfg.scale,
-		Model:             cfg.model.String(),
-		CostSetting:       cfg.costSetting.String(),
-		N:                 g.N(),
-		M:                 g.M(),
-		K:                 cfg.k,
-		Targets:           len(inst.Targets),
-		Budget:            inst.Costs.Total(inst.Targets),
-		Realizations:      rep.Realizations,
-		AvgProfit:         rep.AvgProfit,
-		AvgSpread:         rep.AvgSpread,
-		AvgCost:           rep.AvgCost,
-		AvgRounds:         rep.AvgRounds,
-		MinProfit:         rep.MinProfit,
-		MaxProfit:         rep.MaxProfit,
-		RRDrawn:           rep.RRDrawn,
-		RRRequested:       rep.RRRequested,
-		RRReused:          rep.RRReused,
-		RRPeakBytes:       rep.RRPeakBytes,
-		SamplingMS:        rep.SamplingNS / 1e6,
-		RRPerSec:          rrPerSec(rep.RRDrawn, rep.SamplingNS),
-		Fallbacks:         rep.Fallbacks,
-		Sampler:           rep.Sampler,
-		Attempts:          rep.Attempts,
-		RRBatches:         rep.RRBatches,
-		CertifiedEarly:    rep.CertifiedEarly,
-		ImmTheta:          immRes.Theta,
-		ImmThetaRequested: immRes.ThetaRequested,
-		ImmTotalRR:        immRes.TotalRR,
-		ImmPeakRRBytes:    immRes.PeakRRBytes,
-		Seed:              cfg.seed,
-		SetupMS:           p.setupMS,
-		WallMS:            time.Since(start).Milliseconds(),
-	}, nil
+	return nil
 }
 
 func cmdRun(args []string) error {
@@ -208,49 +61,32 @@ func cmdRun(args []string) error {
 	dataset := fs.String("dataset", "nethept-s", "Table II stand-in dataset name")
 	model := fs.String("model", "ic", "diffusion model: ic or lt")
 	costName := fs.String("cost", "degree-proportional", "cost setting: degree-proportional, uniform, random")
-	k, reps, adgTheta, nsgTheta, workers, seed, scale, zeta, eps, delta, immEps, sampler := runFlags(fs)
+	var spec sweep.Spec
+	specFlags(fs, &spec)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	m, err := parseModel(*model)
+	if err := checkSpecFlags(&spec); err != nil {
+		return err
+	}
+	spec.Datasets = []string{*dataset}
+	spec.Models = []string{*model}
+	spec.CostSettings = []string{*costName}
+	spec.Algos = []string{*algo}
+	spec.SetDefaults()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	p, err := sweep.Prepare(&spec, *dataset, *model, *costName)
 	if err != nil {
 		return err
 	}
-	cs, err := parseCostSetting(*costName)
-	if err != nil {
-		return err
-	}
-	if err := validateAlgo(*algo); err != nil {
-		return err
-	}
-	if err := validateSampler(*sampler); err != nil {
-		return err
-	}
-	cfg := runConfig{
-		algo: *algo, dataset: *dataset, scale: *scale, model: m, costSetting: cs,
-		k: *k, reps: *reps, seed: *seed, zeta: *zeta, eps: *eps, delta: *delta,
-		adgTheta: *adgTheta, nsgTheta: *nsgTheta, workers: *workers, immEps: *immEps,
-		sampler: *sampler,
-	}
-	p, err := prepare(cfg)
-	if err != nil {
-		return err
-	}
-	row, err := execute(cfg, p)
+	row, err := sweep.Execute(&spec, p, sweep.Cell{Dataset: *dataset, Model: *model, Cost: *costName, Algo: *algo}, nil)
 	if err != nil {
 		return err
 	}
 	warnShortfall(row)
 	return json.NewEncoder(os.Stdout).Encode(row)
-}
-
-// rrPerSec converts drawn RR sets and sampling wall time into a
-// throughput; zero when no time was recorded (exact-oracle runs).
-func rrPerSec(drawn, ns int64) float64 {
-	if ns <= 0 {
-		return 0
-	}
-	return float64(drawn) / (float64(ns) / 1e9)
 }
 
 // warnShortfall surfaces RR-set generation shortfalls on stderr so a

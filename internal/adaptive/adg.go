@@ -20,6 +20,15 @@ func RunADG(inst *Instance, env *Environment, orc oracle.Oracle) (*RunResult, er
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
+	// Oracles that can answer a batch of singleton queries concurrently
+	// (oracle.RIS with workers set) take the batch path; the floats are
+	// identical to per-node ExpectedSpread calls, so the policy's picks
+	// don't depend on which path ran.
+	type batchOracle interface {
+		SingleSpreads(res *graph.Residual, nodes []graph.NodeID, out []float64)
+	}
+	bo, batched := orc.(batchOracle)
+	var spreads []float64
 	var seeds []graph.NodeID
 	var alive []graph.NodeID
 	query := make([]graph.NodeID, 1)
@@ -29,11 +38,24 @@ func RunADG(inst *Instance, env *Environment, orc oracle.Oracle) (*RunResult, er
 		if len(alive) == 0 {
 			break
 		}
+		if batched {
+			if cap(spreads) < len(alive) {
+				spreads = make([]float64, len(alive))
+			}
+			spreads = spreads[:len(alive)]
+			bo.SingleSpreads(res, alive, spreads)
+		}
 		best := graph.NodeID(-1)
 		bestProfit := 0.0
-		for _, u := range alive {
-			query[0] = u
-			p := orc.ExpectedSpread(res, query) - inst.Costs.Cost(u)
+		for i, u := range alive {
+			var spread float64
+			if batched {
+				spread = spreads[i]
+			} else {
+				query[0] = u
+				spread = orc.ExpectedSpread(res, query)
+			}
+			p := spread - inst.Costs.Cost(u)
 			if p > bestProfit || (p == bestProfit && best >= 0 && u < best) {
 				best, bestProfit = u, p
 			}

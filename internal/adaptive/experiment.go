@@ -31,6 +31,11 @@ type RunOptions struct {
 	// NSGTheta is the nonadaptive greedy's one-shot sample size; default
 	// 20_000.
 	NSGTheta int
+	// Interrupt, when non-nil, is polled by RunExperiment before every
+	// realization; a non-nil return aborts the experiment with that error.
+	// Sweep cells use it for wall-clock budgets and SIGINT checkpointing,
+	// so a cell overruns its budget by at most one realization.
+	Interrupt func() error
 }
 
 func (o *RunOptions) setDefaults() {
@@ -122,6 +127,11 @@ func RunExperiment(inst *Instance, algo string, realizations int, opts RunOption
 	root := rng.New(seed)
 	rep := &Report{Algorithm: algo, Realizations: realizations}
 	for i := 0; i < realizations; i++ {
+		if opts.Interrupt != nil {
+			if err := opts.Interrupt(); err != nil {
+				return nil, fmt.Errorf("adaptive: realization %d/%d: %w", i, realizations, err)
+			}
+		}
 		worldRNG := root.Split()
 		algoRNG := root.Split()
 		env := NewEnvironment(cascade.Sample(inst.G, inst.Model, worldRNG))

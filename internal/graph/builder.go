@@ -38,7 +38,9 @@ func (b *Builder) AddEdge(u, v NodeID, p float64) error {
 	if u == v {
 		return fmt.Errorf("graph: self-loop on node %d rejected", u)
 	}
-	if p <= 0 || p > 1 {
+	// The negated form also rejects NaN, which passes every one-sided
+	// comparison and would otherwise poison the samplers.
+	if !(p > 0 && p <= 1) {
 		return fmt.Errorf("graph: edge (%d,%d) probability %v outside (0,1]", u, v, p)
 	}
 	b.edges = append(b.edges, Edge{From: u, To: v, P: p})
@@ -92,7 +94,7 @@ func (b *Builder) ApplyWeightedCascade() {
 
 // ApplyUniformProbability sets every edge's probability to p.
 func (b *Builder) ApplyUniformProbability(p float64) error {
-	if p <= 0 || p > 1 {
+	if !(p > 0 && p <= 1) { // rejects NaN too
 		return fmt.Errorf("graph: uniform probability %v outside (0,1]", p)
 	}
 	for i := range b.edges {

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets for the two untrusted entry points: the edge-list
+// parser (files come from disk) and Builder.Build (edges come from
+// arbitrary callers). The contract under fuzzing: malformed input —
+// unparsable lines, duplicate headers, out-of-range node ids,
+// probabilities outside (0,1] including NaN — returns an error; it never
+// panics, never OOMs on a hostile header, and anything accepted passes
+// Validate and round-trips through Write/Read.
+
+// fuzzMaxNodes bounds declared node counts during fuzzing so the O(n)
+// CSR allocation stays cheap per exec (MaxReadNodes guards the real
+// blow-up range; covering 1<<20..MaxReadNodes would only burn fuzz time
+// allocating).
+const fuzzMaxNodes = 1 << 12
+
+func FuzzReadEdgeList(f *testing.F) {
+	for _, s := range []string{
+		"n 3 directed\n0 1 0.5\n1 2 1\n",
+		"n 2 undirected\n0 1\n",
+		"# comment\n\nn 4 directed\n0 1 0.25\n0 1 0.25\n2 3 0.125\n", // parallel edges
+		"n 2 directed\n0 1 1.5\n",                                    // p > 1
+		"n 2 directed\n0 1 -0.5\n",                                   // p < 0
+		"n 2 directed\n0 1 NaN\n",                                    // NaN must error
+		"n 2 directed\n0 1 0\n",                                      // p = 0
+		"n 2 directed\n0 5 0.5\n",                                    // target out of range
+		"n 2 directed\n-1 1 0.5\n",                                   // negative source
+		"0 1 0.5\n",                                                  // edge before header
+		"n 2 directed\nn 2 directed\n0 1 1\n",                        // duplicate header
+		"n x directed\n",
+		"n 2 bidirected\n",
+		"n 2 directed\n0 0 1\n", // self-loop
+		"n 2 directed\n0 1 abc\n",
+		"n 999999999999 directed\n", // hostile node count
+		"n 2 directed\n0 1 0.5 extra\n",
+		"",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		// Pre-screen the declared node count: headers within
+		// (fuzzMaxNodes, MaxReadNodes] are valid but make Build allocate
+		// hundreds of MB per exec — legitimate, just too slow to fuzz.
+		if n, ok := declaredNodes(input); ok && n > fuzzMaxNodes {
+			t.Skip("valid but oversized for per-exec validation")
+		}
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected: exactly what malformed input should get
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v\ninput: %q", err, input)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("writing accepted graph: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\nserialized: %q", err, buf.String())
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed shape: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
+// declaredNodes extracts the node count of the first header line, if any.
+func declaredNodes(input string) (int, bool) {
+	for _, line := range strings.Split(input, "\n") {
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		if fields[0] == "n" && len(fields) >= 2 {
+			n, err := strconv.Atoi(fields[1])
+			return n, err == nil
+		}
+		return 0, false // first record is not a header; Read will reject
+	}
+	return 0, false
+}
+
+func FuzzBuilderBuild(f *testing.F) {
+	f.Add(5, true, []byte{0, 1, 32, 1, 2, 64, 2, 3, 255})
+	f.Add(2, false, []byte{0, 1, 0})                     // p = 0 rejected
+	f.Add(3, true, []byte{0, 0, 10})                     // self-loop rejected
+	f.Add(1, true, []byte{0, 7, 10})                     // target out of range
+	f.Add(64, true, []byte{9, 9, 9, 9})                  // trailing partial triple
+	f.Add(0, true, []byte{})                             // empty graph
+	f.Add(16, false, bytes.Repeat([]byte{1, 2, 77}, 40)) // heavy duplication
+	f.Fuzz(func(t *testing.T, n int, directed bool, data []byte) {
+		if n < 0 || n > fuzzMaxNodes {
+			t.Skip()
+		}
+		b := NewBuilder(n, directed)
+		added := 0
+		// Each 3-byte triple is one AddEdge attempt; u/v deliberately
+		// range past n to exercise the bounds checks, p past 1 (and to 0)
+		// to exercise the probability gate.
+		for i := 0; i+2 < len(data); i += 3 {
+			u := NodeID(int(data[i]) - 2)
+			v := NodeID(int(data[i+1]) - 2)
+			p := float64(data[i+2]) / 200 // 0 .. 1.275
+			if err := b.AddEdge(u, v, p); err == nil {
+				added++
+			} else if u >= 0 && int(u) < n && v >= 0 && int(v) < n && u != v && p > 0 && p <= 1 {
+				t.Fatalf("in-range edge (%d,%d,%g) rejected: %v", u, v, p, err)
+			}
+		}
+		if len(data) > 0 {
+			switch data[0] % 4 {
+			case 1:
+				added -= b.Dedup()
+			case 2:
+				b.ApplyWeightedCascade()
+			case 3:
+				if err := b.ApplyUniformProbability(float64(data[0])/255 + 0.001); err != nil {
+					t.Skip() // probability drifted out of range; gate did its job
+				}
+			}
+		}
+		g := b.Build()
+		if g.N() != n {
+			t.Fatalf("built graph has %d nodes, want %d", g.N(), n)
+		}
+		if g.M() != int64(added) {
+			t.Fatalf("built graph has %d edges, want %d", g.M(), added)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("built graph fails validation: %v", err)
+		}
+	})
+}

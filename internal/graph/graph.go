@@ -252,7 +252,7 @@ func (g *Graph) Validate() error {
 		if v < 0 || v >= g.n {
 			return fmt.Errorf("graph: out edge %d targets invalid node %d", i, v)
 		}
-		if p := g.outP[i]; p <= 0 || p > 1 {
+		if p := g.outP[i]; !(p > 0 && p <= 1) { // negated form also catches NaN
 			return fmt.Errorf("graph: out edge %d has probability %v outside (0,1]", i, p)
 		}
 	}
@@ -272,13 +272,13 @@ func (g *Graph) Validate() error {
 			if g.InDegree(v) == 0 {
 				continue
 			}
-			if p := g.inProb[v]; p <= 0 || p > 1 {
+			if p := g.inProb[v]; !(p > 0 && p <= 1) {
 				return fmt.Errorf("graph: node %d in-probability %v outside (0,1]", v, p)
 			}
 		}
 	} else {
 		for i, p := range g.inP {
-			if p <= 0 || p > 1 {
+			if !(p > 0 && p <= 1) {
 				return fmt.Errorf("graph: in edge %d has probability %v outside (0,1]", i, p)
 			}
 		}
@@ -327,26 +327,41 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	// Every out edge must have a matching in edge with equal probability.
-	// Count-based check keeps this O(N + M).
+	// Every out edge must have a matching in edge with the bit-identical
+	// probability. An exact multiset match per (u,v) pair — not a
+	// sum/subtract residual, which is order-dependent in floating point
+	// and false-alarms on parallel edges ((a+b)−a−b ≠ 0).
 	type key struct{ u, v NodeID }
-	fwd := make(map[key]float64, min64(g.m, 1<<20))
+	fwd := make(map[key][]float64, min64(g.m, 1<<20))
 	if g.m <= 1<<20 { // full check only on graphs where the map is affordable
 		for u := int32(0); u < g.n; u++ {
 			adj, ps := g.OutNeighbors(u)
 			for i, v := range adj {
-				fwd[key{u, v}] += ps[i]
+				fwd[key{u, v}] = append(fwd[key{u, v}], ps[i])
 			}
 		}
 		for v := int32(0); v < g.n; v++ {
 			adj, ps := g.InNeighbors(v)
 			for i, u := range adj {
-				fwd[key{u, v}] -= ps[i]
+				k := key{u, v}
+				left := fwd[k]
+				matched := false
+				for j, p := range left {
+					if p == ps[i] {
+						left[j] = left[len(left)-1]
+						fwd[k] = left[:len(left)-1]
+						matched = true
+						break
+					}
+				}
+				if !matched {
+					return fmt.Errorf("graph: in edge (%d,%d) p=%v has no matching out edge", u, v, ps[i])
+				}
 			}
 		}
-		for k, d := range fwd {
-			if d != 0 {
-				return fmt.Errorf("graph: in/out mismatch on edge (%d,%d): residual %v", k.u, k.v, d)
+		for k, left := range fwd {
+			if len(left) > 0 {
+				return fmt.Errorf("graph: out edge (%d,%d) p=%v has no matching in edge", k.u, k.v, left[0])
 			}
 		}
 	}

@@ -19,6 +19,13 @@ import (
 // This mirrors the SNAP-style edge lists the paper's datasets ship in,
 // with an explicit header so files are self-describing.
 
+// MaxReadNodes bounds the node count Read accepts from a header. The
+// builder allocates O(n) on Build, so an absurd declared count in a
+// malformed (or hostile) file must fail with an error instead of an
+// allocation blow-up. 1<<27 ≈ 134M nodes — 27× livejournal — keeps every
+// legitimate dataset loadable.
+const MaxReadNodes = 1 << 27
+
 // Write serializes g in the text edge-list format.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -63,6 +70,9 @@ func Read(r io.Reader) (*Graph, error) {
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad node count %q", line, fields[1])
+			}
+			if n > MaxReadNodes {
+				return nil, fmt.Errorf("graph: line %d: node count %d exceeds limit %d", line, n, MaxReadNodes)
 			}
 			var directed bool
 			switch fields[2] {

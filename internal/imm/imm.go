@@ -16,7 +16,9 @@ type Options struct {
 	Ell   float64 // failure exponent ℓ (success prob 1 − 1/n^ℓ); default 1
 	Model cascade.Model
 	Seed  uint64
-	// Workers for parallel RR generation; 0 means GOMAXPROCS.
+	// Workers for parallel RR generation and parallel greedy selection
+	// (ris.GreedyMaxCoverageWorkers); 0 means GOMAXPROCS. Selection output
+	// is identical for every worker count.
 	Workers int
 	// NoReuse draws a fresh RR collection for every lower-bound guess,
 	// exactly as the pre-batcher implementation did (paper-faithful; what
@@ -104,7 +106,7 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 		b.GrowTo(res, r, thetaI, opts.Workers)
 		collection := b.Collection()
 		all := allNodes(n)
-		seeds, cum := collection.GreedyMaxCoverage(all, k)
+		seeds, cum := collection.GreedyMaxCoverageWorkers(all, k, opts.Workers)
 		if len(seeds) == 0 {
 			break
 		}
@@ -132,7 +134,7 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	}
 	b.GrowTo(res, r, theta, opts.Workers)
 	collection := b.Collection()
-	seeds, cum := collection.GreedyMaxCoverage(allNodes(n), k)
+	seeds, cum := collection.GreedyMaxCoverageWorkers(allNodes(n), k, opts.Workers)
 	spread := 0.0
 	if len(cum) > 0 {
 		spread = nf * float64(cum[len(cum)-1]) / float64(collection.Len())

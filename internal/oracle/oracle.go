@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cascade"
 	"repro/internal/graph"
@@ -156,10 +157,60 @@ func (o *RIS) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 
 	return ris.EstimateSpread(c.Cov(seeds), c.Len(), o.cachedAlive)
 }
 
-// SetWorkers enables parallel RR generation on future refreshes (n > 1;
-// 0 or 1 keeps the default sequential sampler). Results stay
-// deterministic for a fixed worker count.
+// SetWorkers enables parallel RR generation on future refreshes and
+// parallel batch queries (n > 1; 0 or 1 keeps the default sequential
+// sampler). Results stay deterministic for a fixed worker count, and
+// SingleSpreads is worker-count-independent.
 func (o *RIS) SetWorkers(n int) { o.workers = n }
+
+// SingleSpreads estimates E[I_{G_i}({u})] for every u in nodes, writing
+// the estimates into out (which must have len(nodes)). It is equivalent
+// to calling ExpectedSpread on each singleton — identical floats — but a
+// single-node coverage is an O(1) inverted-index lookup
+// (CountContaining), so the batch is evaluated concurrently across the
+// oracle's worker count after one Refresh. The adaptive greedy's
+// per-round argmax over alive targets goes through here.
+func (o *RIS) SingleSpreads(res *graph.Residual, nodes []graph.NodeID, out []float64) {
+	if len(nodes) == 0 {
+		return
+	}
+	o.Refresh(res)
+	c := o.b.Collection()
+	if c.Len() == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	c.BuildIndex(o.workers) // before the concurrent reads below
+	theta, alive := c.Len(), o.cachedAlive
+	workers := o.workers
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		for i, u := range nodes {
+			out[i] = ris.EstimateSpread(c.CountContaining(u), theta, alive)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(nodes) + workers - 1) / workers
+	for lo := 0; lo < len(nodes); lo += chunk {
+		hi := lo + chunk
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = ris.EstimateSpread(c.CountContaining(nodes[i]), theta, alive)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // SetReuse enables cross-version RR-set reuse: on a residual change,
 // Refresh keeps the cached sets still valid under the new residual

@@ -38,7 +38,11 @@ type Collection struct {
 	invArena []int32
 	invOff   []int32
 	cursor   []int32 // scratch for ensureIndex's fill pass
-	invValid bool
+	// rangeCounts is BuildIndex's per-worker scratch (per-range per-node
+	// counts, converted to write bases in place); retained like cursor so
+	// steady-state parallel rebuilds allocate nothing.
+	rangeCounts [][]int32
+	invValid    bool
 
 	// version is the graph.Residual.Version the held sets were drawn on
 	// (or last filtered against); -1 when unknown. Filter uses it to skip

@@ -41,9 +41,13 @@
 //     mutated residual, enabling cross-round reuse: a set drawn on G_i
 //     that avoids every node deleted since remains a correctly
 //     distributed RR sample of G_j (j > i).
-//   - Coverage queries (coverage.go): CovR(S), incremental marginals via
-//     Marks, and heap-based CELF greedy max-coverage — the selection step
-//     of IMM (§VI-A) and the nonadaptive greedy baseline.
+//   - Coverage queries (coverage.go, select.go): CovR(S), incremental
+//     marginals via Marks, and heap-based CELF greedy max-coverage — the
+//     selection step of IMM (§VI-A) and the nonadaptive greedy baseline.
+//     GreedyMaxCoverageWorkers adds a parallel marginal-evaluation path
+//     (range-partitioned index build, concurrent initial gains, batched
+//     lazy re-evaluation) whose selections are identical to the serial
+//     CELF for every worker count.
 //   - Coverage tracker and Batcher (tracker.go): Coverage maintains
 //     per-node containment counts incrementally as batches are appended
 //     and is compacted in lockstep by Collection.Filter, so a per-batch

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runToJournal executes the spec into a fresh journal at path and
+// returns the raw journal bytes.
+func runToJournal(t *testing.T, spec *Spec, path string) []byte {
+	t.Helper()
+	j, err := CreateJournal(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), spec, Options{Journal: j}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func canonicalBytes(t *testing.T, path string) []byte {
+	t.Helper()
+	records, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Canonical(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestCrashRecoveryGolden is the journal's crash-safety contract, end to
+// end: run a small nethept-s IC+LT sweep to completion, then simulate a
+// crash by truncating the journal mid-cell-record (the exact artifact of
+// dying inside a write), resume, and require the recovered journal to
+// canonicalize to the byte-identical document of the uninterrupted run.
+func TestCrashRecoveryGolden(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "SWEEP_full.jsonl")
+	spec := tinySpec()
+	fullBytes := runToJournal(t, spec, full)
+	wantCanonical := canonicalBytes(t, full)
+
+	// Cut the journal after the first cell record, leaving half of the
+	// second record's line — a crash mid-write. (The spec line and at
+	// least two cell lines must exist for the cut to land mid-cell.)
+	lines := bytes.SplitAfter(fullBytes, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	var truncated []byte
+	truncated = append(truncated, lines[0]...)                   // spec record
+	truncated = append(truncated, lines[1]...)                   // first completed cell
+	truncated = append(truncated, lines[2][:len(lines[2])/2]...) // torn write
+	crashed := filepath.Join(dir, "SWEEP_crashed.jsonl")
+	if err := os.WriteFile(crashed, truncated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the torn record is dropped, its cell (and the never-started
+	// ones) rerun, the completed cell is skipped.
+	j, jspec, skip, err := Resume(crashed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skip) != 1 {
+		t.Fatalf("resume skips %d cells, want 1 (the completed record)", len(skip))
+	}
+	res, err := Run(context.Background(), jspec, Options{Journal: j, Skip: skip})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 1 || len(res.Rows) != len(spec.Cells())-1 {
+		t.Fatalf("resume ran %d rows (skipped %d), want %d (skipped 1)",
+			len(res.Rows), res.Skipped, len(spec.Cells())-1)
+	}
+
+	gotCanonical := canonicalBytes(t, crashed)
+	if !bytes.Equal(gotCanonical, wantCanonical) {
+		t.Fatalf("resumed journal diverges from uninterrupted run:\n--- uninterrupted ---\n%s\n--- resumed ---\n%s",
+			wantCanonical, gotCanonical)
+	}
+}
+
+// TestResumeAfterSIGINTStyleCancel covers the checkpoint path: a context
+// cancelled mid-sweep stops cleanly, the journal holds the completed
+// prefix, and a resume finishes the grid to the same canonical bytes.
+func TestResumeAfterSIGINTStyleCancel(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec()
+
+	full := filepath.Join(dir, "SWEEP_full.jsonl")
+	runToJournal(t, spec, full)
+	wantCanonical := canonicalBytes(t, full)
+
+	interrupted := filepath.Join(dir, "SWEEP_int.jsonl")
+	j, err := CreateJournal(interrupted, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel before Run even starts: nothing executes, Interrupted is
+	// reported, and the journal stays a valid (empty) checkpoint.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(ctx, spec, Options{Journal: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled run not reported as interrupted")
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("cancelled run completed %d cells, want 0", len(res.Rows))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, jspec, skip, err := Resume(interrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), jspec, Options{Journal: j2, Skip: skip}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := canonicalBytes(t, interrupted); !bytes.Equal(got, wantCanonical) {
+		t.Fatalf("post-interrupt resume diverges:\n%s\nvs\n%s", got, wantCanonical)
+	}
+}

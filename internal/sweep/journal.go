@@ -1,0 +1,241 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The journal is the sweep's crash-safety mechanism: an append-only JSONL
+// file (SWEEP_*.jsonl) with one self-contained record per line — a spec
+// record first, then one cell record per completed (or failed) cell,
+// flushed and fsynced after every cell. A crash or SIGINT therefore loses
+// at most the cell that was in flight; `repro sweep --resume` reads the
+// journal back, skips the cells that already carry a result row, and
+// appends the rest to the same file. A truncated final line (the
+// in-flight record of a crash) is detected and ignored on read.
+
+// JournalVersion is the journal format version stamped into spec records.
+const JournalVersion = 1
+
+// Record is one journal line. Type "spec" carries the grid definition
+// (first line of every journal); type "cell" carries one cell's outcome:
+// either a result Row or an error string, plus the wall time the cell
+// took (volatile — stripped by Canonical).
+type Record struct {
+	Type      string `json:"type"`
+	Version   int    `json:"version,omitempty"`
+	Spec      *Spec  `json:"spec,omitempty"`
+	Key       string `json:"key,omitempty"`
+	Row       *Row   `json:"row,omitempty"`
+	Err       string `json:"err,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+}
+
+const (
+	recordSpec = "spec"
+	recordCell = "cell"
+)
+
+// Journal appends records to a JSONL file, one fsynced line per record.
+type Journal struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// OpenJournal opens path for appending, creating it if needed.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func newWriter(f *os.File) *bufio.Writer { return bufio.NewWriter(f) }
+
+// Append writes one record as a JSON line and forces it to disk before
+// returning, so every acknowledged record survives a crash.
+func (j *Journal) Append(rec *Record) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := j.bw.Write(data); err != nil {
+		return err
+	}
+	if err := j.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	if err := j.bw.Flush(); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close flushes and closes the underlying file.
+func (j *Journal) Close() error {
+	if err := j.bw.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// ReadJournal parses a journal file. A torn tail — the partially written
+// record of a crash — is dropped silently (that cell simply reruns on
+// resume); a malformed line anywhere else is an error, since it means
+// the file is not an append-only journal.
+func ReadJournal(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseJournal(data)
+}
+
+// ParseJournal is ReadJournal for bytes already in memory (report's
+// journal sniffing reads the file once and parses what it holds).
+func ParseJournal(data []byte) ([]Record, error) {
+	records, _, err := parseJournal(data)
+	return records, err
+}
+
+// parseJournal parses journal bytes and returns the records plus the
+// byte offset of the end of the last complete record. A record is
+// complete only if its line is newline-terminated and parses; anything
+// after `valid` is a torn write (crash artifact) that Resume truncates
+// away before appending — without the truncation, the first record
+// appended after a crash would merge with the torn fragment into one
+// corrupt line.
+func parseJournal(data []byte) (records []Record, valid int, err error) {
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			// Unterminated tail: torn write, drop it.
+			return records, valid, nil
+		}
+		line := bytes.TrimSpace(data[valid : valid+nl])
+		if len(line) > 0 {
+			var rec Record
+			if jsonErr := json.Unmarshal(line, &rec); jsonErr != nil {
+				if len(bytes.TrimSpace(data[valid+nl+1:])) == 0 {
+					// Malformed final line: also a crash artifact.
+					return records, valid, nil
+				}
+				return nil, 0, fmt.Errorf("sweep: journal at byte %d: %w", valid, jsonErr)
+			}
+			records = append(records, rec)
+		}
+		valid += nl + 1
+	}
+	return records, valid, nil
+}
+
+// JournalSpec returns the spec record's grid, or an error if the journal
+// has none (not a sweep journal, or truncated before the first fsync).
+func JournalSpec(records []Record) (*Spec, error) {
+	for i := range records {
+		if records[i].Type == recordSpec {
+			if records[i].Spec == nil {
+				return nil, fmt.Errorf("sweep: journal spec record carries no spec")
+			}
+			return records[i].Spec, nil
+		}
+	}
+	return nil, fmt.Errorf("sweep: journal has no spec record")
+}
+
+// CompletedCells returns the keys of cells that carry a result row. Cells
+// recorded with an error are not included — a resume retries them.
+func CompletedCells(records []Record) map[string]bool {
+	done := make(map[string]bool)
+	for i := range records {
+		if records[i].Type == recordCell && records[i].Row != nil {
+			done[records[i].Key] = true
+		}
+	}
+	return done
+}
+
+// CellRecords returns the latest record of every cell, ordered by the
+// spec's grid order (unknown keys last, alphabetically) — the record set
+// a resume semantically ends up with, independent of the completion
+// order the journal happens to list.
+func CellRecords(records []Record) ([]Record, error) {
+	spec, err := JournalSpec(records)
+	if err != nil {
+		return nil, err
+	}
+	latest := make(map[string]Record)
+	for i := range records {
+		if records[i].Type == recordCell {
+			latest[records[i].Key] = records[i]
+		}
+	}
+	keys := make([]string, 0, len(latest))
+	for k := range latest {
+		keys = append(keys, k)
+	}
+	rank := make(map[string]int)
+	for i, c := range spec.Cells() {
+		rank[c.Key()] = i
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, iok := rank[keys[i]]
+		rj, jok := rank[keys[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return keys[i] < keys[j]
+		}
+	})
+	out := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, latest[k])
+	}
+	return out, nil
+}
+
+// Canonical renders records as the canonical journal bytes: the spec
+// record, then the latest record of every cell in grid order, with the
+// volatile wall-clock fields (record ElapsedMS; row WallMS / SetupMS /
+// SamplingMS / RRPerSec) zeroed. Everything else in a Row is a
+// deterministic function of the spec, so two sweeps of the same spec —
+// regardless of scheduling, interruption, crash, or resume — canonicalize
+// to identical bytes. The crash-recovery test asserts exactly that.
+func Canonical(records []Record) ([]byte, error) {
+	spec, err := JournalSpec(records)
+	if err != nil {
+		return nil, err
+	}
+	cells, err := CellRecords(records)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(&Record{Type: recordSpec, Version: JournalVersion, Spec: spec}); err != nil {
+		return nil, err
+	}
+	for _, rec := range cells {
+		rec.ElapsedMS = 0
+		if rec.Row != nil {
+			row := *rec.Row
+			row.stripVolatile()
+			rec.Row = &row
+		}
+		if err := enc.Encode(&rec); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Options configures one sweep execution.
+type Options struct {
+	// Journal, when non-nil, receives one fsynced record per completed or
+	// failed cell (crash safety). The spec record is written by
+	// CreateJournal, not Run.
+	Journal *Journal
+	// Skip lists cell keys that already have results (from a previous
+	// journal) and must not rerun — the resume path.
+	Skip map[string]bool
+	// Log receives one progress line per group preparation and cell
+	// completion; nil discards them.
+	Log io.Writer
+}
+
+// Result aggregates one Run invocation. Rows and Errors are in grid
+// order regardless of the scheduling that produced them.
+type Result struct {
+	Rows        []*Row
+	Errors      []string
+	Skipped     int  // cells skipped via Options.Skip
+	Interrupted bool // context was cancelled before the grid finished
+	WallMS      int64
+}
+
+// group is the shared-preparation unit: all cells of one
+// (dataset, model, cost) triple reuse one Prepared instance. The first
+// worker to reach any cell of the group prepares it; group-mates wait on
+// the Once.
+type group struct {
+	cell Cell // algo field unused
+	once sync.Once
+	p    *Prepared
+	err  error
+}
+
+func (g *group) prepare(spec *Spec, log io.Writer) (*Prepared, error) {
+	g.once.Do(func() {
+		logf(log, "sweep: preparing %s/%s/%s...\n", g.cell.Dataset, g.cell.Model, g.cell.Cost)
+		g.p, g.err = Prepare(spec, g.cell.Dataset, g.cell.Model, g.cell.Cost)
+	})
+	return g.p, g.err
+}
+
+func logf(w io.Writer, format string, args ...any) {
+	if w != nil {
+		fmt.Fprintf(w, format, args...)
+	}
+}
+
+// Run executes the spec's grid: a pool of spec.Parallel workers pulls
+// cells in grid order, the first cell of each (dataset, model, cost)
+// group prepares the shared instance, and every cell outcome is appended
+// to the journal (fsynced) the moment it completes. Cancelling ctx stops
+// the sweep at the next cell boundary — and, via the per-realization
+// interrupt hook, mid-cell — leaving the journal as a clean checkpoint;
+// Run then returns with Interrupted set and no error.
+//
+// Cell results are a deterministic function of the spec alone: every cell
+// derives its RNG streams from spec.Seed, never from scheduling. Journal
+// record order is completion order; Canonical restores grid order.
+func Run(ctx context.Context, spec *Spec, opts Options) (*Result, error) {
+	spec.SetDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cells := spec.Cells()
+
+	groups := make(map[string]*group)
+	type job struct {
+		cell Cell
+		g    *group
+	}
+	var jobs []job
+	res := &Result{}
+	for _, c := range cells {
+		if opts.Skip[c.Key()] {
+			res.Skipped++
+			continue
+		}
+		gk := c.GroupKey()
+		g, ok := groups[gk]
+		if !ok {
+			g = &group{cell: c}
+			groups[gk] = g
+		}
+		jobs = append(jobs, job{cell: c, g: g})
+	}
+
+	workers := spec.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	type outcome struct {
+		row *Row
+		err error
+	}
+	outcomes := make(map[string]outcome, len(jobs))
+	var mu sync.Mutex // guards outcomes, journal appends, and journalErr
+	var journalErr error
+
+	finish := func(c Cell, row *Row, cellErr error, elapsed time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		outcomes[c.Key()] = outcome{row: row, err: cellErr}
+		if opts.Journal != nil && journalErr == nil {
+			rec := &Record{Type: recordCell, Key: c.Key(), Row: row, ElapsedMS: elapsed.Milliseconds()}
+			if cellErr != nil {
+				rec.Err = cellErr.Error()
+			}
+			journalErr = opts.Journal.Append(rec)
+		}
+	}
+	aborted := func() bool {
+		if ctx.Err() != nil {
+			return true
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return journalErr != nil
+	}
+
+	jobCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for jb := range jobCh {
+				if aborted() {
+					continue // drain without starting new cells
+				}
+				p, err := jb.g.prepare(spec, opts.Log)
+				if err != nil {
+					finish(jb.cell, nil, fmt.Errorf("prepare: %w", err), 0)
+					continue
+				}
+				var deadline time.Time
+				if spec.CellBudgetMS > 0 {
+					deadline = time.Now().Add(time.Duration(spec.CellBudgetMS) * time.Millisecond)
+				}
+				interrupt := func() error {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						return fmt.Errorf("cell budget %dms exceeded", spec.CellBudgetMS)
+					}
+					return nil
+				}
+				logf(opts.Log, "sweep: %s...\n", jb.cell.Key())
+				cellStart := time.Now()
+				row, err := Execute(spec, p, jb.cell, interrupt)
+				finish(jb.cell, row, err, time.Since(cellStart))
+			}
+		}()
+	}
+	for _, jb := range jobs {
+		jobCh <- jb
+	}
+	close(jobCh)
+	wg.Wait()
+
+	if journalErr != nil {
+		return nil, fmt.Errorf("sweep: journal write failed: %w", journalErr)
+	}
+	// Assemble in grid order; cells that never started (cancellation)
+	// appear in neither Rows nor Errors.
+	for _, c := range cells {
+		o, ok := outcomes[c.Key()]
+		switch {
+		case !ok:
+			continue
+		case o.err != nil:
+			res.Errors = append(res.Errors, fmt.Sprintf("%s: %v", c.Key(), o.err))
+		default:
+			res.Rows = append(res.Rows, o.row)
+		}
+	}
+	res.Interrupted = ctx.Err() != nil
+	res.WallMS = time.Since(start).Milliseconds()
+	return res, nil
+}
+
+// CreateJournal creates a fresh journal at path — refusing to touch an
+// existing file, so a forgotten --resume cannot silently mix two sweeps —
+// and writes the spec record as its first line.
+func CreateJournal(path string, spec *Spec) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, bw: newWriter(f)}
+	if err := j.Append(&Record{Type: recordSpec, Version: JournalVersion, Spec: spec}); err != nil {
+		j.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Resume reads an existing journal, truncates any torn tail record (the
+// crash artifact of dying mid-write) so appended records start on a
+// fresh line, and reopens the file for appending. It returns the
+// recorded spec and the completed cell keys to skip. Failed or
+// torn-record cells are not in the skip set, so they rerun.
+func Resume(path string) (*Journal, *Spec, map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	records, valid, err := parseJournal(data)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	spec, err := JournalSpec(records)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if valid < len(data) {
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, nil, nil, fmt.Errorf("sweep: repairing torn journal tail: %w", err)
+		}
+	}
+	j, err := OpenJournal(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return j, spec, CompletedCells(records), nil
+}
