@@ -9,6 +9,7 @@
 //	repro run    --algo addatp --dataset nethept-s --model ic --cost degree-proportional
 //	repro bench  [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
 //	repro sweep  [--datasets all] [--models all] [--journal SWEEP_x.jsonl] [--resume] [--parallel 4]
+//	repro serve  [--addr 127.0.0.1:8077] [--checkpoint-dir ckpts] [--max-instances 8]
 //	repro report [--out EXPERIMENTS.md] [BENCH_*.json | SWEEP_*.jsonl ...]
 package main
 
@@ -35,6 +36,8 @@ func main() {
 		err = cmdBench(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
@@ -58,6 +61,7 @@ subcommands:
   run     execute one algorithm on one dataset/model/cost configuration
   bench   run a single-model grid of algorithms x datasets x costs into a BENCH_*.json
   sweep   run a resumable datasets x models x costs x algorithms grid with a JSONL journal
+  serve   run the campaign daemon: step-wise adaptive sessions over HTTP with checkpoint/restore
   report  render BENCH_*.json / SWEEP_*.jsonl files into EXPERIMENTS.md (Table II layout)
 
 run 'repro <subcommand> -h' for flags.

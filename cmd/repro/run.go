@@ -61,6 +61,7 @@ func cmdRun(args []string) error {
 	dataset := fs.String("dataset", "nethept-s", "Table II stand-in dataset name")
 	model := fs.String("model", "ic", "diffusion model: ic or lt")
 	costName := fs.String("cost", "degree-proportional", "cost setting: degree-proportional, uniform, random")
+	showSeeds := fs.Bool("show-seeds", false, "include each realization's seed list in the output row")
 	var spec sweep.Spec
 	specFlags(fs, &spec)
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +74,7 @@ func cmdRun(args []string) error {
 	spec.Models = []string{*model}
 	spec.CostSettings = []string{*costName}
 	spec.Algos = []string{*algo}
+	spec.EmitSeeds = *showSeeds
 	spec.SetDefaults()
 	if err := spec.Validate(); err != nil {
 		return err

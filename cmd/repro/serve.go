@@ -1,0 +1,96 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/service"
+	"repro/internal/sweep"
+)
+
+// cmdServe runs the campaign daemon: a warm instance registry plus the
+// HTTP campaign API (see internal/service). The spec flags pin the shared
+// experiment parameters every served campaign runs under; dataset, model,
+// and cost set the defaults a create request falls back to when it omits
+// them. On SIGTERM/SIGINT the server stops accepting work, checkpoints
+// every open campaign into --checkpoint-dir, and exits — a restarted
+// server restores those campaigns bit-identically.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for campaign checkpoints (empty disables checkpoint/drain persistence)")
+	maxInstances := fs.Int("max-instances", 8, "idle prepared instances kept warm before LRU eviction (0 = unlimited)")
+	dataset := fs.String("dataset", "nethept-s", "default dataset for campaigns that omit one")
+	model := fs.String("model", "ic", "default diffusion model: ic or lt")
+	costName := fs.String("cost", "degree-proportional", "default cost setting")
+	var spec sweep.Spec
+	specFlags(fs, &spec)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkSpecFlags(&spec); err != nil {
+		return err
+	}
+	spec.Datasets = []string{*dataset}
+	spec.Models = []string{*model}
+	spec.CostSettings = []string{*costName}
+	spec.Algos = append([]string(nil), adaptive.Algorithms...)
+	spec.SetDefaults()
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	reg := service.NewRegistry(spec, *maxInstances)
+	srv := service.NewServer(reg, *ckptDir)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "repro serve: listening on %s (defaults %s/%s/%s@%g, seed %d)\n",
+			*addr, *dataset, *model, *costName, spec.Scale, spec.Seed+100)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err // bind failure etc.; ErrServerClosed only after Shutdown
+	case <-ctx.Done():
+	}
+	stop() // second signal kills immediately
+
+	// Stop accepting connections first, then drain: checkpoint and close
+	// every open campaign so nothing is lost across the restart.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "repro serve: shutdown: %v\n", err)
+	}
+	files, err := srv.Drain()
+	for _, f := range files {
+		fmt.Fprintf(os.Stderr, "repro serve: checkpointed %s\n", f)
+	}
+	if err != nil {
+		return err
+	}
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	fmt.Fprintln(os.Stderr, "repro serve: drained, exiting")
+	return nil
+}

@@ -52,6 +52,14 @@ func NewEnvironment(rz *cascade.Realization) *Environment {
 	return &Environment{rz: rz, res: graph.NewResidual(rz.Graph())}
 }
 
+// NewEnvironmentAt wraps a realization mid-campaign: res is the residual
+// after the seeds observed so far and activated their realized spread.
+// The checkpoint-resume path uses it (with Session.CloneResidual) to
+// rebuild a simulated environment in lockstep with a restored session.
+func NewEnvironmentAt(rz *cascade.Realization, res *graph.Residual, activated int) *Environment {
+	return &Environment{rz: rz, res: res, activated: activated}
+}
+
 // Residual returns the current residual view G_i. Policies may read it
 // (and sample RR sets on it) but must mutate it only through Observe.
 func (e *Environment) Residual() *graph.Residual { return e.res }
@@ -112,14 +120,21 @@ type RunResult struct {
 }
 
 func (inst *Instance) finish(algo string, seeds []graph.NodeID, env *Environment) *RunResult {
+	return inst.finishResult(algo, seeds, env.Activated())
+}
+
+// finishResult builds the outcome skeleton from the committed seeds and
+// the realized spread — the environment-free form Session.Result uses
+// (a session tracks its own spread instead of holding the environment).
+func (inst *Instance) finishResult(algo string, seeds []graph.NodeID, spread int) *RunResult {
 	c := inst.Costs.Total(seeds)
 	return &RunResult{
 		Algorithm: algo,
-		Seeds:     seeds,
+		Seeds:     append([]graph.NodeID(nil), seeds...),
 		Rounds:    len(seeds),
-		Spread:    env.Activated(),
+		Spread:    spread,
 		Cost:      c,
-		Profit:    float64(env.Activated()) - c,
+		Profit:    float64(spread) - c,
 	}
 }
 

@@ -1,7 +1,6 @@
 package adaptive
 
 import (
-	"repro/internal/graph"
 	"repro/internal/oracle"
 )
 
@@ -20,59 +19,5 @@ func RunADG(inst *Instance, env *Environment, orc oracle.Oracle) (*RunResult, er
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	// Oracles that can answer a batch of singleton queries concurrently
-	// (oracle.RIS with workers set) take the batch path; the floats are
-	// identical to per-node ExpectedSpread calls, so the policy's picks
-	// don't depend on which path ran.
-	type batchOracle interface {
-		SingleSpreads(res *graph.Residual, nodes []graph.NodeID, out []float64)
-	}
-	bo, batched := orc.(batchOracle)
-	var spreads []float64
-	var seeds []graph.NodeID
-	var alive []graph.NodeID
-	query := make([]graph.NodeID, 1)
-	for {
-		res := env.Residual()
-		alive = inst.aliveTargets(res, alive)
-		if len(alive) == 0 {
-			break
-		}
-		if batched {
-			if cap(spreads) < len(alive) {
-				spreads = make([]float64, len(alive))
-			}
-			spreads = spreads[:len(alive)]
-			bo.SingleSpreads(res, alive, spreads)
-		}
-		best := graph.NodeID(-1)
-		bestProfit := 0.0
-		for i, u := range alive {
-			var spread float64
-			if batched {
-				spread = spreads[i]
-			} else {
-				query[0] = u
-				spread = orc.ExpectedSpread(res, query)
-			}
-			p := spread - inst.Costs.Cost(u)
-			if p > bestProfit || (p == bestProfit && best >= 0 && u < best) {
-				best, bestProfit = u, p
-			}
-		}
-		if best < 0 || bestProfit <= 0 {
-			break
-		}
-		env.Observe(best)
-		seeds = append(seeds, best)
-	}
-	r := inst.finish("adg", seeds, env)
-	if ris, ok := orc.(*oracle.RIS); ok {
-		r.RRDrawn = ris.TotalDrawn()
-		r.RRRequested = ris.TotalRequested()
-		r.RRReused = ris.TotalReused()
-		r.RRPeakBytes = ris.PeakRRBytes()
-		r.SamplingNS = ris.SamplingNS()
-	}
-	return r, nil
+	return newShell(inst, AlgoADG, RunOptions{}, nil, newADGStepper(orc)).Drive(env)
 }

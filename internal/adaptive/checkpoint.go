@@ -1,0 +1,586 @@
+package adaptive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/ris"
+	"repro/internal/rng"
+)
+
+// Checkpoint format: a versioned little-endian binary blob holding
+// everything a mid-campaign Session needs to resume bit-identically in
+// another process — committed seeds and spread, the pending proposal, the
+// algorithm RNG's raw state, the residual's alive list in swap-remove
+// order (the order feeds uniform root sampling, so it must survive
+// verbatim), and the per-algorithm stepper state (RR collection snapshots
+// plus accounting).
+//
+// Deliberately absent, because each is a pure function of what is stored:
+// coverage counts and the CSR inverted index (rebuilt from the restored
+// sets), sampler pools (stateless between batches — workers reseed from
+// the session RNG every batch), and wall-clock telemetry (SamplingNS
+// restarts at zero; every other RunResult field of a resumed campaign
+// matches the uninterrupted run exactly).
+//
+// The sampling options ride in the blob and are authoritative on resume:
+// Workers shapes the draw→substream mapping, so silently resuming under a
+// different worker count would fork the RNG stream. An instance
+// fingerprint (graph shape, model, targets, costs) guards against
+// restoring onto the wrong instance. Unknown versions and torn payloads
+// fail loudly.
+const (
+	ckptMagic   = uint64(0x4154505345535331) // "ATPSESS1"
+	ckptVersion = uint32(1)
+)
+
+// Stepper payload tags (one per algorithm family).
+const (
+	ckptStepSeq = uint8(iota + 1)
+	ckptStepFixed
+	ckptStepADG
+	ckptStepNSG
+	ckptStepAllTargets
+)
+
+// ADG oracle kinds.
+const (
+	ckptOracleExact = uint8(0) // stateless; rebuilt from the instance
+	ckptOracleRIS   = uint8(1)
+)
+
+// instFingerprint hashes the parts of the instance a checkpoint depends
+// on. Two instances with equal fingerprints sample identically, so a
+// restored session behaves as if it had never stopped.
+func instFingerprint(inst *Instance) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	w(uint64(inst.G.N()))
+	w(uint64(inst.G.M()))
+	w(uint64(inst.Model))
+	w(uint64(len(inst.Targets)))
+	for _, u := range inst.Targets {
+		w(uint64(uint32(u)))
+		w(math.Float64bits(inst.Costs.Cost(u)))
+	}
+	return h.Sum64()
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian writer/reader with a sticky error (reader side) so the
+// codec reads as straight-line field lists.
+
+type ckptWriter struct {
+	buf []byte
+}
+
+func (w *ckptWriter) u8(v uint8) { w.buf = append(w.buf, v) }
+func (w *ckptWriter) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+func (w *ckptWriter) i64(v int64)   { w.u64(uint64(v)) }
+func (w *ckptWriter) i(v int)       { w.u64(uint64(int64(v))) }
+func (w *ckptWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *ckptWriter) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *ckptWriter) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *ckptWriter) nodes(ns []graph.NodeID) {
+	w.u64(uint64(len(ns)))
+	for _, u := range ns {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(u))
+	}
+}
+func (w *ckptWriter) i32s(vs []int32) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(v))
+	}
+}
+
+type ckptReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *ckptReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("adaptive: checkpoint: "+format, args...)
+	}
+}
+
+func (r *ckptReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("truncated at offset %d (need %d of %d bytes)", r.off, n, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *ckptReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *ckptReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *ckptReader) i64() int64   { return int64(r.u64()) }
+func (r *ckptReader) i() int       { return int(int64(r.u64())) }
+func (r *ckptReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *ckptReader) boolean() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("corrupt bool at offset %d", r.off-1)
+		return false
+	}
+}
+
+func (r *ckptReader) str() string {
+	n := r.u64()
+	if n > uint64(len(r.buf)) {
+		r.fail("string length %d exceeds payload", n)
+		return ""
+	}
+	return string(r.take(int(n)))
+}
+
+func (r *ckptReader) length() int {
+	n := r.u64()
+	if n > uint64(len(r.buf)) { // cheap sanity cap: counts can't exceed bytes
+		r.fail("slice length %d exceeds payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *ckptReader) nodes() []graph.NodeID {
+	n := r.length()
+	b := r.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (r *ckptReader) i32s() []int32 {
+	n := r.length()
+	b := r.take(4 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func (w *ckptWriter) collection(st ris.CollectionState) {
+	w.nodes(st.Arena)
+	w.i32s(st.Offsets)
+	w.nodes(st.Roots)
+	w.i64(st.Version)
+	w.i(st.Requested)
+}
+
+func (r *ckptReader) collection() ris.CollectionState {
+	return ris.CollectionState{
+		Arena:     r.nodes(),
+		Offsets:   r.i32s(),
+		Roots:     r.nodes(),
+		Version:   r.i64(),
+		Requested: r.i(),
+	}
+}
+
+func (w *ckptWriter) batcher(st ris.BatcherState) {
+	w.boolean(st.HasCol)
+	if st.HasCol {
+		w.collection(st.Col)
+	}
+	w.i64(st.Drawn)
+	w.i64(st.Requested)
+	w.i64(st.Reused)
+	w.i64(st.PeakBytes)
+	w.i(st.Batches)
+}
+
+func (r *ckptReader) batcher() ris.BatcherState {
+	st := ris.BatcherState{HasCol: r.boolean()}
+	if st.HasCol {
+		st.Col = r.collection()
+	}
+	st.Drawn = r.i64()
+	st.Requested = r.i64()
+	st.Reused = r.i64()
+	st.PeakBytes = r.i64()
+	st.Batches = r.i()
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Encode.
+
+// Checkpoint serializes the session between API calls (never during one —
+// sessions are quiescent between calls by construction). A voided session
+// (Err != nil) cannot be checkpointed: its in-flight batch state is
+// undefined.
+func (s *Session) Checkpoint() ([]byte, error) {
+	if s.err != nil {
+		return nil, fmt.Errorf("adaptive: checkpoint of a voided session: %w", s.err)
+	}
+	w := &ckptWriter{buf: make([]byte, 0, 1024)}
+	w.u64(ckptMagic)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, ckptVersion)
+	w.u64(instFingerprint(s.inst))
+	w.str(s.algo)
+
+	// Options (authoritative on resume; see package comment above).
+	w.str(s.opts.Sampling.Policy)
+	w.f64(s.opts.Sampling.Zeta)
+	w.f64(s.opts.Sampling.Eps)
+	w.f64(s.opts.Sampling.Delta)
+	w.i(s.opts.Sampling.MaxRefine)
+	w.i(s.opts.Sampling.InitialBatch)
+	w.i(s.opts.Sampling.Workers)
+	w.boolean(s.opts.Sampling.NoReuse)
+	w.i(s.opts.ADGTheta)
+	w.i(s.opts.NSGTheta)
+
+	// Campaign progress.
+	w.boolean(s.done)
+	w.boolean(s.havePending)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(s.pending))
+	w.i(s.spread)
+	w.nodes(s.seeds)
+
+	// Algorithm RNG (absent for RNG-free steppers driven via RunADG /
+	// RunAllTargets shells).
+	w.boolean(s.r != nil)
+	if s.r != nil {
+		state, inc := s.r.State()
+		w.u64(state)
+		w.u64(inc)
+	}
+
+	// Residual view: the alive list in swap-remove order plus version.
+	w.i64(s.res.Version())
+	w.nodes(s.res.AliveList())
+
+	// Stepper payload.
+	switch st := s.step.(type) {
+	case *seqStepper:
+		w.u8(ckptStepSeq)
+		w.i(st.fallbacks)
+		w.i(st.attempts)
+		w.i(st.certifiedEarly)
+		w.batcher(st.b.State())
+	case *fixedStepper:
+		w.u8(ckptStepFixed)
+		w.i(st.fallbacks)
+		w.i(st.attempts)
+		w.i(st.batches)
+		w.i(st.certifiedEarly)
+		w.i64(st.drawn)
+		w.i64(st.requested)
+		w.i64(st.reused)
+		w.i64(st.peakBytes)
+		w.boolean(st.col != nil)
+		if st.col != nil {
+			w.collection(st.col.State())
+		}
+	case *adgStepper:
+		w.u8(ckptStepADG)
+		switch orc := st.orc.(type) {
+		case *oracle.Exact, *oracle.ExactLT:
+			w.u8(ckptOracleExact)
+		case *oracle.RIS:
+			if err := orc.Err(); err != nil {
+				return nil, fmt.Errorf("adaptive: checkpoint of a voided RIS oracle: %w", err)
+			}
+			w.u8(ckptOracleRIS)
+			ost := orc.State()
+			w.u64(ost.RNGState)
+			w.u64(ost.RNGInc)
+			w.i(ost.Theta)
+			w.i(ost.Workers)
+			w.boolean(ost.Reuse)
+			w.i64(ost.CachedVersion)
+			w.i(ost.CachedAlive)
+			w.batcher(ost.Batcher)
+		default:
+			return nil, fmt.Errorf("adaptive: checkpoint: oracle %T is not serializable", st.orc)
+		}
+	case *nsgStepper:
+		w.u8(ckptStepNSG)
+		w.boolean(st.selected)
+		w.nodes(st.chosen)
+		w.i(st.idx)
+		w.i64(st.drawn)
+		w.i64(st.requested)
+		w.i64(st.peakBytes)
+	case *allTargetsStepper:
+		w.u8(ckptStepAllTargets)
+		w.i(st.idx)
+	default:
+		return nil, fmt.Errorf("adaptive: checkpoint: unknown stepper %T", s.step)
+	}
+	return w.buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Decode.
+
+// ResumeOptions configures a session restore.
+type ResumeOptions struct {
+	// Batcher, when non-nil, donates warm storage to the restored session
+	// exactly as RunOptions.Batcher does for a fresh one (sequential
+	// sampling policy only; ignored otherwise).
+	Batcher *ris.Batcher
+	// Interrupt is installed via Session.SetInterrupt after restore.
+	Interrupt func() error
+}
+
+// ResumeSession rebuilds a session from a Checkpoint blob on the same
+// instance (same graph, model, targets, costs — enforced by fingerprint).
+// The restored session's subsequent NextSeed/Observe sequence, and its
+// final Result, are bit-identical to the uninterrupted original's (except
+// SamplingNS, which restarts at zero).
+func ResumeSession(inst *Instance, data []byte, ropts ResumeOptions) (*Session, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	r := &ckptReader{buf: data}
+	if m := r.u64(); r.err == nil && m != ckptMagic {
+		return nil, fmt.Errorf("adaptive: checkpoint: bad magic %#x (not a session checkpoint)", m)
+	}
+	verB := r.take(4)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if v := binary.LittleEndian.Uint32(verB); v != ckptVersion {
+		return nil, fmt.Errorf("adaptive: checkpoint: version %d not supported (this build reads %d)", v, ckptVersion)
+	}
+	if fp := r.u64(); r.err == nil && fp != instFingerprint(inst) {
+		return nil, fmt.Errorf("adaptive: checkpoint: instance fingerprint mismatch (checkpoint %#x, instance %#x) — wrong dataset, model, scale, or cost setting", fp, instFingerprint(inst))
+	}
+	algo := r.str()
+
+	var opts RunOptions
+	opts.Sampling.Policy = r.str()
+	opts.Sampling.Zeta = r.f64()
+	opts.Sampling.Eps = r.f64()
+	opts.Sampling.Delta = r.f64()
+	opts.Sampling.MaxRefine = r.i()
+	opts.Sampling.InitialBatch = r.i()
+	opts.Sampling.Workers = r.i()
+	opts.Sampling.NoReuse = r.boolean()
+	opts.ADGTheta = r.i()
+	opts.NSGTheta = r.i()
+	opts.Batcher = ropts.Batcher
+	opts.Interrupt = ropts.Interrupt
+
+	done := r.boolean()
+	havePending := r.boolean()
+	var pending graph.NodeID
+	if b := r.take(4); b != nil {
+		pending = graph.NodeID(binary.LittleEndian.Uint32(b))
+	}
+	spread := r.i()
+	seeds := r.nodes()
+
+	hasRNG := r.boolean()
+	var rngState, rngInc uint64
+	if hasRNG {
+		rngState = r.u64()
+		rngInc = r.u64()
+	}
+
+	resVersion := r.i64()
+	alive := r.nodes()
+
+	stepTag := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	// Rebuild the stepper without consuming the session RNG: every draw the
+	// original made is already reflected in the serialized RNG state.
+	var step stepper
+	switch stepTag {
+	case ckptStepSeq:
+		if algo != AlgoADDATP && algo != AlgoHATP {
+			return nil, fmt.Errorf("adaptive: checkpoint: sequential stepper under algorithm %q", algo)
+		}
+		fallbacks, attempts, certified := r.i(), r.i(), r.i()
+		bst := r.batcher()
+		if r.err != nil {
+			return nil, r.err
+		}
+		st, err := newSeqStepper(inst, regimeFor(algo, opts.Sampling), opts.Sampling, ropts.Batcher)
+		if err != nil {
+			return nil, err
+		}
+		st.fallbacks, st.attempts, st.certifiedEarly = fallbacks, attempts, certified
+		if err := st.b.RestoreState(bst, inst.G.N()); err != nil {
+			return nil, err
+		}
+		step = st
+	case ckptStepFixed:
+		if algo != AlgoADDATP && algo != AlgoHATP {
+			return nil, fmt.Errorf("adaptive: checkpoint: fixed stepper under algorithm %q", algo)
+		}
+		st, err := newFixedStepper(inst, regimeFor(algo, opts.Sampling), opts.Sampling)
+		if err != nil {
+			return nil, err
+		}
+		st.fallbacks, st.attempts, st.batches, st.certifiedEarly = r.i(), r.i(), r.i(), r.i()
+		st.drawn, st.requested, st.reused, st.peakBytes = r.i64(), r.i64(), r.i64(), r.i64()
+		if r.boolean() {
+			cst := r.collection()
+			if r.err != nil {
+				return nil, r.err
+			}
+			st.col = ris.NewCollection(inst.G.N())
+			if err := st.col.RestoreState(cst); err != nil {
+				return nil, err
+			}
+		}
+		step = st
+	case ckptStepADG:
+		if algo != AlgoADG {
+			return nil, fmt.Errorf("adaptive: checkpoint: ADG stepper under algorithm %q", algo)
+		}
+		switch kind := r.u8(); kind {
+		case ckptOracleExact:
+			// Stateless: rebuild from the instance (must succeed — it did
+			// when the checkpoint was written, and the fingerprint matched).
+			var orc oracle.Oracle
+			var err error
+			switch inst.Model {
+			case cascade.IC:
+				orc, err = oracle.NewExact(inst.G)
+			case cascade.LT:
+				orc, err = oracle.NewExactLT(inst.G)
+			default:
+				err = fmt.Errorf("adaptive: checkpoint: exact oracle under model %v", inst.Model)
+			}
+			if err != nil {
+				return nil, err
+			}
+			step = newADGStepper(orc)
+		case ckptOracleRIS:
+			var ost oracle.RISState
+			ost.RNGState = r.u64()
+			ost.RNGInc = r.u64()
+			ost.Theta = r.i()
+			ost.Workers = r.i()
+			ost.Reuse = r.boolean()
+			ost.CachedVersion = r.i64()
+			ost.CachedAlive = r.i()
+			ost.Batcher = r.batcher()
+			if r.err != nil {
+				return nil, r.err
+			}
+			if ost.Theta <= 0 {
+				return nil, fmt.Errorf("adaptive: checkpoint: RIS theta %d", ost.Theta)
+			}
+			ro := oracle.NewRIS(inst.Model, ost.Theta, rng.New(0))
+			if err := ro.RestoreState(ost, inst.G.N()); err != nil {
+				return nil, err
+			}
+			step = newADGStepper(ro)
+		default:
+			return nil, fmt.Errorf("adaptive: checkpoint: unknown oracle kind %d", kind)
+		}
+	case ckptStepNSG:
+		if algo != AlgoNSG {
+			return nil, fmt.Errorf("adaptive: checkpoint: NSG stepper under algorithm %q", algo)
+		}
+		st := &nsgStepper{theta: opts.NSGTheta, workers: opts.Sampling.Workers}
+		st.selected = r.boolean()
+		st.chosen = r.nodes()
+		st.idx = r.i()
+		st.drawn, st.requested, st.peakBytes = r.i64(), r.i64(), r.i64()
+		step = st
+	case ckptStepAllTargets:
+		if algo != AlgoAllTargets {
+			return nil, fmt.Errorf("adaptive: checkpoint: all-targets stepper under algorithm %q", algo)
+		}
+		step = &allTargetsStepper{idx: r.i()}
+	default:
+		return nil, fmt.Errorf("adaptive: checkpoint: unknown stepper tag %d", stepTag)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("adaptive: checkpoint: %d trailing bytes", len(r.buf)-r.off)
+	}
+
+	var algoRNG *rng.RNG
+	if hasRNG {
+		algoRNG = rng.New(0)
+		algoRNG.SetState(rngState, rngInc)
+	}
+	s := newShell(inst, algo, opts, algoRNG, step)
+	if err := s.res.RestoreAlive(alive, resVersion); err != nil {
+		return nil, err
+	}
+	s.seeds = append(s.seeds[:0], seeds...)
+	s.spread = spread
+	s.pending, s.havePending, s.done = pending, havePending, done
+	if ropts.Interrupt != nil {
+		s.SetInterrupt(ropts.Interrupt)
+	}
+	return s, nil
+}
+
+// regimeFor maps a sampling algorithm name to its concentration regime
+// (the same dispatch NewSession performs).
+func regimeFor(algo string, opts SamplingOptions) regime {
+	if algo == AlgoHATP {
+		return hybridRegime{eps: opts.Eps}
+	}
+	return additiveRegime{}
+}

@@ -26,11 +26,19 @@
 //     per-round sample size linear in 1/ζ instead of quadratic
 //     (RunHATP) — the paper's headline efficiency gain.
 //
-// Both sampling policies share one round structure (runSampling in
-// sampling.go) behind a Policy switch:
+// Every policy — adaptive and nonadaptive alike — runs as a Session
+// (session.go): NextSeed proposes the next target, Observe feeds back the
+// realized activations, and the batch Run entry points are a thin
+// NextSeed/Observe drive loop over a simulated Environment. The per-round
+// decision logic lives in per-policy steppers behind the Session shell,
+// and a session can be serialized at any round boundary (Checkpoint) and
+// rebuilt later (ResumeSession) to continue bit-identically — the
+// internal/service campaign registry and `repro serve` are built on
+// exactly this surface. The two sampling policies are a Policy switch
+// over steppers:
 //
 //   - PolicySequential (default) is the sequential sampling controller
-//     (runSequential): one RR collection grows in geometrically doubling
+//     (seqStepper): one RR collection grows in geometrically doubling
 //     batches through a ris.Batcher, and after every batch an
 //     anytime-valid confidence sequence (bounds.AnytimeWidth at the
 //     spent budget bounds.SpendGeometric) asks whether the seed/stop
@@ -46,7 +54,7 @@
 //     with θ(ζ_min, δ_round) as an absolute cap. The per-batch check
 //     reads the incremental ris.Coverage tracker, O(batch + alive
 //     targets) per look.
-//   - PolicyFixed (runFixed) replays the paper's attempt loop verbatim —
+//   - PolicyFixed (fixedStepper) replays the paper's attempt loop verbatim —
 //     draw to θ(ζ_i, δ_i), halve ζ, MaxRefine fallback — and is pinned
 //     bit-for-bit to the pre-controller implementation by
 //     TestFixedPolicyMatchesPreRefactorGolden, so `--sampler fixed` is

@@ -2,10 +2,9 @@ package adaptive
 
 import (
 	"fmt"
-	"runtime"
 
 	"repro/internal/cascade"
-	"repro/internal/oracle"
+	"repro/internal/ris"
 	"repro/internal/rng"
 )
 
@@ -32,10 +31,19 @@ type RunOptions struct {
 	// 20_000.
 	NSGTheta int
 	// Interrupt, when non-nil, is polled by RunExperiment before every
-	// realization; a non-nil return aborts the experiment with that error.
-	// Sweep cells use it for wall-clock budgets and SIGINT checkpointing,
-	// so a cell overruns its budget by at most one realization.
+	// realization, by the session before every round, and by the RR draw
+	// loops every interrupt stride (see ris.SamplerPool.SetInterrupt); a
+	// non-nil return aborts the run with that error. Sweep cells use it
+	// for wall-clock budgets and SIGINT checkpointing, so a cell overruns
+	// its budget by at most a stride of RR draws, not a realization.
 	Interrupt func() error
+	// Batcher, when non-nil, donates warm RR storage (collection arenas,
+	// coverage counts, sampler-pool scratch) to the run. Only the
+	// sequential sampling policy draws through a Batcher; other algorithms
+	// ignore it. It is Reset before use, so results are independent of
+	// what it previously held — the service instance registry uses this to
+	// run successive campaigns with zero steady-state allocation.
+	Batcher *ris.Batcher
 }
 
 func (o *RunOptions) setDefaults() {
@@ -47,49 +55,16 @@ func (o *RunOptions) setDefaults() {
 	}
 }
 
-// Run executes one named algorithm on one realization environment.
+// Run executes one named algorithm on one realization environment: a
+// NewSession driven to completion. Outputs are bit-identical to the
+// pre-Session batch implementations (same RNG consumption order, same
+// per-round decisions).
 func Run(inst *Instance, env *Environment, algo string, opts RunOptions, r *rng.RNG) (*RunResult, error) {
-	opts.setDefaults()
-	switch algo {
-	case AlgoADG:
-		var orc oracle.Oracle
-		// Each model has its own exact enumerator on graphs small enough:
-		// per-edge coins for IC, per-node parent picks for LT. Larger
-		// graphs go through the RIS oracle.
-		if inst.Model == cascade.IC {
-			if exact, err := oracle.NewExact(inst.G); err == nil {
-				orc = exact
-			}
-		} else if inst.Model == cascade.LT {
-			if exact, err := oracle.NewExactLT(inst.G); err == nil {
-				orc = exact
-			}
-		}
-		if orc == nil {
-			w := opts.Sampling.Workers
-			if w <= 0 { // same convention as GenerateParallel
-				w = runtime.GOMAXPROCS(0)
-			}
-			ris := oracle.NewRIS(inst.Model, opts.ADGTheta, r.Split())
-			ris.SetWorkers(w)
-			// Large-graph ADG keeps its RR pool across rounds, filtering
-			// out invalidated sets and topping up the shortfall, matching
-			// the sampling policies' reuse strategy.
-			ris.SetReuse(!opts.Sampling.NoReuse)
-			orc = ris
-		}
-		return RunADG(inst, env, orc)
-	case AlgoADDATP:
-		return RunADDATP(inst, env, opts.Sampling, r)
-	case AlgoHATP:
-		return RunHATP(inst, env, opts.Sampling, r)
-	case AlgoNSG:
-		return RunNonadaptiveGreedy(inst, env, opts.NSGTheta, r, opts.Sampling.Workers)
-	case AlgoAllTargets:
-		return RunAllTargets(inst, env)
-	default:
-		return nil, fmt.Errorf("adaptive: unknown algorithm %q (have %v)", algo, Algorithms)
+	s, err := NewSession(inst, algo, opts, r)
+	if err != nil {
+		return nil, err
 	}
+	return s.Drive(env)
 }
 
 // Report aggregates an algorithm's runs over several realizations of the

@@ -16,10 +16,7 @@ func RunAllTargets(inst *Instance, env *Environment) (*RunResult, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	for _, u := range inst.Targets {
-		env.Observe(u)
-	}
-	return inst.finish("all-targets", append([]graph.NodeID(nil), inst.Targets...), env), nil
+	return newShell(inst, AlgoAllTargets, RunOptions{}, nil, &allTargetsStepper{}).Drive(env)
 }
 
 // NonadaptiveGreedySelect picks a subset S ⊆ T before any observation:
@@ -68,19 +65,9 @@ func NonadaptiveGreedySelect(inst *Instance, theta int, r *rng.RNG, workers int)
 // RunNonadaptiveGreedy selects a seed set with NonadaptiveGreedySelect and
 // evaluates it on env's realization.
 func RunNonadaptiveGreedy(inst *Instance, env *Environment, theta int, r *rng.RNG, workers int) (*RunResult, error) {
-	chosen, col, samplingNS, err := NonadaptiveGreedySelect(inst, theta, r, workers)
-	if err != nil {
+	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	for _, u := range chosen {
-		env.Observe(u)
-	}
-	result := inst.finish("nsg", chosen, env)
-	if col != nil {
-		result.RRDrawn = int64(col.Len())
-		result.RRRequested = int64(col.Requested())
-		result.RRPeakBytes = col.Bytes()
-		result.SamplingNS = samplingNS
-	}
-	return result, nil
+	step := &nsgStepper{theta: theta, workers: workers}
+	return newShell(inst, AlgoNSG, RunOptions{}, r, step).Drive(env)
 }

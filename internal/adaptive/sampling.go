@@ -1,16 +1,5 @@
 package adaptive
 
-import (
-	"fmt"
-	"math"
-	"time"
-
-	"repro/internal/bounds"
-	"repro/internal/graph"
-	"repro/internal/ris"
-	"repro/internal/rng"
-)
-
 // Sampling policies: how ADDATP/HATP decide when enough RR sets have been
 // drawn to certify a round's seed/stop decision.
 const (
@@ -109,328 +98,4 @@ func clampSpread(v float64, nAlive int) float64 {
 		return n
 	}
 	return v
-}
-
-// runSampling is the round structure shared by Algorithms 3 and 4. Each
-// round estimates every alive target's marginal spread as n_i·Cov(u)/θ
-// from RR sets on the residual graph, and then either
-//
-//   - seeds the best target, when its profit lower bound is positive;
-//   - terminates, when every target's profit upper bound is ≤ 0;
-//   - draws more, when the decision is not yet certified — falling back to
-//     the point estimate at the policy's sampling frontier so a marginal
-//     profit sitting exactly at 0 cannot loop forever.
-//
-// How "draws more" and "certified" are implemented is the sampling policy:
-// runSequential grows the collection in geometric batches under an
-// anytime-valid confidence sequence, runFixed replays the paper's
-// fixed-θ(ζ_i, δ_i) attempt loop.
-func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOptions, r *rng.RNG) (*RunResult, error) {
-	if err := inst.Validate(); err != nil {
-		return nil, err
-	}
-	opts.setDefaults()
-	switch opts.Policy {
-	case PolicySequential:
-		return runSequential(inst, env, reg, opts, r)
-	case PolicyFixed:
-		return runFixed(inst, env, reg, opts, r)
-	default:
-		return nil, fmt.Errorf("adaptive: unknown sampling policy %q (have %v)", opts.Policy, SamplingPolicies)
-	}
-}
-
-// runSequential is the sequential sampling controller. One RR collection
-// persists for the whole run through a ris.Batcher: at a round start it is
-// validity-filtered to the new residual (carried-over sets count toward
-// the first look), then grown in geometrically doubling batches. After
-// each batch k the controller evaluates, for every alive target, an
-// anytime-valid confidence interval on its coverage fraction — empirical
-// Bernstein / Hoeffding at the spent budget δ_k = δ_round/(k(k+1)), see
-// bounds.AnytimeWidth — and certifies the seed/stop decision the moment
-// the interval allows, instead of waiting for a precomputed θ(ζ_i, δ_i).
-// Certification is valid at every batch boundary because the per-look
-// budgets telescope to δ_round, replacing the fixed loop's
-// MaxRefine-based union bound. Rounds that stay undecidable fall back to
-// the point estimate at the same precision frontier where the fixed loop
-// gives up: once every alive target's confidence width is ≤
-// ζ_min = ζ/2^MaxRefine — the width the fixed loop's final attempt
-// certifies by construction — the estimate is at least as sharp as the
-// one the fixed fallback decides on, usually at a far smaller θ because
-// the empirical-Bernstein width scales with the coverage variance rather
-// than the worst-case range. θ_cap = θ(ζ_min, δ_round) remains as a
-// safety net for the rare high-variance target whose EB width cannot
-// reach ζ_min sooner than Hoeffding would.
-//
-// The per-batch check reads single-node containment counts from the
-// batcher's incremental ris.Coverage tracker: O(batch + alive targets)
-// per look, instead of rebuilding the collection's inverted index.
-func runSequential(inst *Instance, env *Environment, reg regime, opts SamplingOptions, r *rng.RNG) (*RunResult, error) {
-	// Union bound over rounds only: the run seeds at most |T| targets, and
-	// within a round the confidence sequence spends its δ_round across
-	// looks by itself.
-	deltaRound := opts.Delta / float64(len(inst.Targets))
-	zetaMin := opts.Zeta / math.Exp2(float64(opts.MaxRefine))
-	capTheta, err := reg.theta(zetaMin, deltaRound)
-	if err != nil {
-		return nil, fmt.Errorf("adaptive: %s: %w", reg.name(), err)
-	}
-
-	b := ris.NewBatcher(inst.Model)
-	b.SetReuse(!opts.NoReuse)
-	b.EnableCoverage()
-
-	var seeds []graph.NodeID
-	var alive []graph.NodeID
-	fallbacks, attempts, certifiedEarly := 0, 0, 0
-
-	for {
-		res := env.Residual()
-		alive = inst.aliveTargets(res, alive)
-		if len(alive) == 0 {
-			break
-		}
-		nAlive := res.N()
-		carried := b.Sync(res)
-		target := opts.InitialBatch
-		if carried > target {
-			target = carried
-		}
-		if target > capTheta {
-			target = capTheta
-		}
-		stop := false
-		for k := 1; ; k++ {
-			n := b.GrowTo(res, r, target, opts.Workers)
-			attempts++
-			if n == 0 {
-				stop = true
-				break
-			}
-			deltaK := bounds.SpendGeometric(deltaRound, k)
-			// Per-target marginal profit from the tracked containment
-			// counts. The effective sample size is the full collection,
-			// which can exceed this look's target when a round starts from
-			// a larger filtered carry-over. Within-round growth keeps the
-			// certificates exact (same residual, independent samples);
-			// sets kept across rounds additionally carry Filter's root-mix
-			// tilt, so cross-round certificates are exact per root but
-			// approximate in the root marginal — NoReuse restores the
-			// paper's from-scratch sampling when that matters.
-			best := graph.NodeID(-1)
-			bestProfit, bestLower := 0.0, 0.0
-			maxUpper, maxWidth := 0.0, 0.0
-			for _, u := range alive {
-				frac := float64(b.Count(u)) / float64(n)
-				w := bounds.AnytimeWidth(n, frac, deltaK)
-				cost := inst.Costs.Cost(u)
-				profit := clampSpread(frac*float64(nAlive), nAlive) - cost
-				if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
-					best, bestProfit = u, profit
-					bestLower = clampSpread((frac-w)*float64(nAlive), nAlive) - cost
-				}
-				if up := clampSpread((frac+w)*float64(nAlive), nAlive) - cost; up > maxUpper {
-					maxUpper = up
-				}
-				if w > maxWidth {
-					maxWidth = w
-				}
-			}
-			switch {
-			case bestLower > 0:
-				// Seeding certified.
-				if maxWidth > zetaMin && n < capTheta {
-					certifiedEarly++
-				}
-				env.Observe(best)
-				seeds = append(seeds, best)
-			case maxUpper <= 0:
-				// Stopping certified: no target can have positive profit.
-				if maxWidth > zetaMin && n < capTheta {
-					certifiedEarly++
-				}
-				stop = true
-			case maxWidth <= zetaMin || n >= capTheta:
-				// Precision frontier reached: every estimate is within the
-				// fixed loop's terminal ζ_min, so deciding on the point
-				// estimate is at least as sharp as the fixed fallback.
-				fallbacks++
-				if bestProfit > 0 {
-					env.Observe(best)
-					seeds = append(seeds, best)
-				} else {
-					stop = true
-				}
-			default:
-				target = 2 * n
-				if target > capTheta {
-					target = capTheta
-				}
-				continue
-			}
-			break
-		}
-		if stop {
-			break
-		}
-	}
-	result := inst.finish(reg.name(), seeds, env)
-	result.RRDrawn = b.Drawn()
-	result.RRRequested = b.Requested()
-	result.RRReused = b.Reused()
-	result.RRPeakBytes = b.PeakBytes()
-	result.SamplingNS = b.SamplingNS()
-	result.Fallbacks = fallbacks
-	result.Attempts = attempts
-	result.RRBatches = b.Batches()
-	result.CertifiedEarly = certifiedEarly
-	result.Sampler = PolicySequential
-	return result, nil
-}
-
-// runFixed is the paper's fixed-θ attempt loop, kept bit-identical to the
-// pre-controller implementation (same RNG consumption, same decisions)
-// behind Policy: fixed for paper-faithful A/B runs. Each attempt draws to
-// θ(ζ_i, δ_i), halving ζ between attempts; one RR collection persists
-// across attempts and rounds. Refinement grows θ on an unchanged
-// residual, so earlier samples count toward the new target and only the
-// difference is drawn. After a seeding observation mutates the residual,
-// Collection.Filter keeps exactly the sets that avoid every deleted node
-// — still correctly distributed RR samples of the new residual — and the
-// shortfall to the next θ target is topped up. RunResult.RRReused counts
-// the draws avoided versus regenerating every attempt from scratch.
-func runFixed(inst *Instance, env *Environment, reg regime, opts SamplingOptions, r *rng.RNG) (*RunResult, error) {
-	// Union bound: each round may resample up to MaxRefine+1 times and the
-	// run lasts at most |T| rounds.
-	deltaRound := opts.Delta / float64(len(inst.Targets)*(opts.MaxRefine+1))
-
-	var seeds []graph.NodeID
-	var alive []graph.NodeID
-	fallbacks, attempts, batches, certifiedEarly := 0, 0, 0, 0
-	var drawn, requested, reused, peakBytes, samplingNS int64
-	var col *ris.Collection
-	// One persistent sampler pool serves every attempt of every round:
-	// per-worker scratch (visited marks, stacks, chunks) survives across
-	// the run instead of being reallocated per generation call.
-	pool := ris.NewSamplerPool(inst.Model)
-
-	for {
-		res := env.Residual()
-		alive = inst.aliveTargets(res, alive)
-		if len(alive) == 0 {
-			break
-		}
-		nAlive := res.N()
-		zeta := opts.Zeta
-		stop := false
-		for attempt := 0; ; attempt++ {
-			theta, err := reg.theta(zeta, deltaRound)
-			if err != nil {
-				return nil, fmt.Errorf("adaptive: %s round %d: %w", reg.name(), len(seeds)+1, err)
-			}
-			attempts++
-			if opts.NoReuse || col == nil {
-				if col == nil {
-					col = ris.NewCollection(res.FullN())
-				} else {
-					col.Reset() // fresh θ, warm storage
-				}
-				start := time.Now()
-				pool.AppendParallel(col, res, r.Split(), theta, opts.Workers)
-				samplingNS += time.Since(start).Nanoseconds()
-				drawn += int64(col.Len())
-				requested += int64(col.Requested())
-				batches++
-			} else {
-				kept := col.Filter(res)
-				if kept > theta {
-					kept = theta // draws avoided vs a from-scratch attempt
-				}
-				reused += int64(kept)
-				if shortfall := theta - col.Len(); shortfall > 0 {
-					before := col.Len()
-					start := time.Now()
-					pool.AppendParallel(col, res, r.Split(), shortfall, opts.Workers)
-					samplingNS += time.Since(start).Nanoseconds()
-					drawn += int64(col.Len() - before)
-					requested += int64(shortfall)
-					batches++
-				}
-			}
-			if b := col.Bytes(); b > peakBytes {
-				peakBytes = b
-			}
-			if col.Len() == 0 {
-				stop = true
-				break
-			}
-			// Per-target marginal profit from single-node coverage counts.
-			// The effective sample size is col.Len(), which can exceed this
-			// attempt's θ when a new round starts from a larger filtered
-			// collection. For within-round growth the certificates hold
-			// verbatim (same residual, independent samples, θ' ≥ θ); sets
-			// kept across rounds additionally carry Filter's root-mix
-			// tilt, so cross-round certificates are exact per root but
-			// approximate in the root marginal — NoReuse restores the
-			// paper's from-scratch sampling when that matters.
-			best := graph.NodeID(-1)
-			bestProfit, bestFrac := 0.0, 0.0
-			maxUpper := 0.0
-			for _, u := range alive {
-				frac := float64(col.CountContaining(u)) / float64(col.Len())
-				est := clampSpread(frac*float64(nAlive), nAlive)
-				profit := est - inst.Costs.Cost(u)
-				if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
-					best, bestProfit, bestFrac = u, profit, frac
-				}
-				if up := reg.upper(frac, nAlive, zeta) - inst.Costs.Cost(u); up > maxUpper {
-					maxUpper = up
-				}
-			}
-			lowerBest := reg.lower(bestFrac, nAlive, zeta) - inst.Costs.Cost(best)
-			switch {
-			case lowerBest > 0:
-				// Seeding certified.
-				if attempt < opts.MaxRefine {
-					certifiedEarly++
-				}
-				env.Observe(best)
-				seeds = append(seeds, best)
-			case maxUpper <= 0:
-				// Stopping certified: no target can have positive profit.
-				if attempt < opts.MaxRefine {
-					certifiedEarly++
-				}
-				stop = true
-			case attempt >= opts.MaxRefine:
-				// Confidence budget exhausted; decide on the estimate.
-				fallbacks++
-				if bestProfit > 0 {
-					env.Observe(best)
-					seeds = append(seeds, best)
-				} else {
-					stop = true
-				}
-			default:
-				zeta /= 2
-				continue
-			}
-			break
-		}
-		if stop {
-			break
-		}
-	}
-	result := inst.finish(reg.name(), seeds, env)
-	result.RRDrawn = drawn
-	result.RRRequested = requested
-	result.RRReused = reused
-	result.RRPeakBytes = peakBytes
-	result.SamplingNS = samplingNS
-	result.Fallbacks = fallbacks
-	result.Attempts = attempts
-	result.RRBatches = batches
-	result.CertifiedEarly = certifiedEarly
-	result.Sampler = PolicyFixed
-	return result, nil
 }

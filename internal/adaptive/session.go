@@ -1,0 +1,759 @@
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"time"
+
+	"repro/internal/bounds"
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/ris"
+	"repro/internal/rng"
+)
+
+// Session is one adaptive campaign as an explicit, resumable state
+// machine. The paper's algorithms are inherently interactive — propose a
+// seed, observe the realized cascade, recurse on the residual — but the
+// historical entry points ran that interaction inside opaque batch
+// closures (runSampling, RunADG), so a campaign could neither be driven
+// step-wise by an external feedback source nor survive its process.
+//
+// A Session inverts the control flow: NextSeed computes the algorithm's
+// next decision (drawing RR batches as needed) and returns either the
+// proposed seed or the stop signal; Observe feeds back the realized
+// activations, which the session removes from its own residual view. The
+// session owns every piece of per-campaign state the old closures kept on
+// their stacks — the graph.Residual, the ris.Batcher/Collection, the RNG,
+// round counters — which is what makes Checkpoint/ResumeSession possible.
+//
+// The batch entry points (Run, RunADDATP, …) are thin drive-to-completion
+// loops over a Session against an Environment; their outputs are
+// bit-identical to the pre-Session implementations because the per-round
+// operation and RNG-consumption order is unchanged — the round bodies
+// moved verbatim from runSequential/runFixed/RunADG into the steppers
+// below.
+//
+// A Session is not safe for concurrent use; callers (the service layer)
+// serialize access per campaign.
+type Session struct {
+	inst *Instance
+	algo string
+	opts RunOptions
+	r    *rng.RNG
+
+	// res is the session's own residual view, evolved by Observe in
+	// lockstep with the caller's environment: both remove the same
+	// activated nodes in the same order, so the alive-list order — and
+	// therefore every subsequent uniform root draw — matches the
+	// single-residual batch implementation exactly.
+	res *graph.Residual
+
+	seeds  []graph.NodeID
+	spread int
+
+	pending     graph.NodeID
+	havePending bool
+	done        bool
+	err         error
+
+	interrupt func() error
+	step      stepper
+
+	alive []graph.NodeID // aliveTargets scratch
+}
+
+// stepper is one algorithm's per-round decision procedure. next computes
+// one round on s.res: (seed, false, nil) proposes a seed, (_, true, nil)
+// stops the campaign. finishInto copies the stepper's accounting into a
+// result. Steppers are quiescent between calls — a checkpoint taken
+// between Session API calls captures complete state.
+type stepper interface {
+	next(s *Session) (graph.NodeID, bool, error)
+	finishInto(r *RunResult)
+	setInterrupt(f func() error)
+}
+
+// NewSession validates the instance and builds a stepping campaign for
+// the named algorithm. r supplies every random draw the campaign makes;
+// for AlgoADG on graphs beyond the exact oracle's reach, construction
+// itself splits the RIS oracle's stream off r (matching the batch path's
+// consumption order).
+func NewSession(inst *Instance, algo string, opts RunOptions, r *rng.RNG) (*Session, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	opts.setDefaults()
+	opts.Sampling.setDefaults()
+	var step stepper
+	var err error
+	switch algo {
+	case AlgoADG:
+		step = newADGStepper(newADGOracle(inst, opts, r))
+	case AlgoADDATP:
+		step, err = newSamplingStepper(inst, additiveRegime{}, opts.Sampling, opts.Batcher)
+	case AlgoHATP:
+		step, err = newSamplingStepper(inst, hybridRegime{eps: opts.Sampling.Eps}, opts.Sampling, opts.Batcher)
+	case AlgoNSG:
+		step = &nsgStepper{theta: opts.NSGTheta, workers: opts.Sampling.Workers}
+	case AlgoAllTargets:
+		step = &allTargetsStepper{}
+	default:
+		return nil, fmt.Errorf("adaptive: unknown algorithm %q (have %v)", algo, Algorithms)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := newShell(inst, algo, opts, r, step)
+	if opts.Interrupt != nil {
+		s.SetInterrupt(opts.Interrupt)
+	}
+	return s, nil
+}
+
+// newShell assembles a session around an already built stepper (shared by
+// NewSession, the batch wrappers, and the checkpoint-resume path).
+func newShell(inst *Instance, algo string, opts RunOptions, r *rng.RNG, step stepper) *Session {
+	return &Session{
+		inst: inst,
+		algo: algo,
+		opts: opts,
+		r:    r,
+		res:  graph.NewResidual(inst.G),
+		// Preallocated to the only possible maximum so steady-state
+		// stepping never grows it (the warm-instance zero-alloc contract).
+		seeds: make([]graph.NodeID, 0, len(inst.Targets)),
+		step:  step,
+	}
+}
+
+// newADGOracle builds the oracle the batch ADG path has always used: the
+// per-model exact enumerator on graphs small enough, the RIS oracle
+// (stream split off r, reuse matching the sampling options) otherwise.
+func newADGOracle(inst *Instance, opts RunOptions, r *rng.RNG) oracle.Oracle {
+	if inst.Model == cascade.IC {
+		if exact, err := oracle.NewExact(inst.G); err == nil {
+			return exact
+		}
+	} else if inst.Model == cascade.LT {
+		if exact, err := oracle.NewExactLT(inst.G); err == nil {
+			return exact
+		}
+	}
+	w := opts.Sampling.Workers
+	if w <= 0 { // same convention as GenerateParallel
+		w = runtime.GOMAXPROCS(0)
+	}
+	ro := oracle.NewRIS(inst.Model, opts.ADGTheta, r.Split())
+	ro.SetWorkers(w)
+	// Large-graph ADG keeps its RR pool across rounds, filtering out
+	// invalidated sets and topping up the shortfall, matching the sampling
+	// policies' reuse strategy.
+	ro.SetReuse(!opts.Sampling.NoReuse)
+	return ro
+}
+
+// NextSeed advances the campaign to its next decision: (u, false, nil)
+// proposes seeding u — the caller must Observe the realized activations
+// before asking again (asking again without observing returns the same
+// pending seed) — and (_, true, nil) means the campaign is over (no
+// remaining target has certified-positive marginal profit, or every
+// target is spent). A non-nil error voids the campaign.
+func (s *Session) NextSeed() (graph.NodeID, bool, error) {
+	if s.err != nil {
+		return 0, true, s.err
+	}
+	if s.done {
+		return 0, true, nil
+	}
+	if s.havePending {
+		return s.pending, false, nil
+	}
+	if s.interrupt != nil {
+		if err := s.interrupt(); err != nil {
+			s.err = err
+			return 0, true, err
+		}
+	}
+	u, stop, err := s.step.next(s)
+	if err != nil {
+		s.err = err
+		return 0, true, err
+	}
+	if stop {
+		s.done = true
+		return 0, true, nil
+	}
+	s.pending, s.havePending = u, true
+	return u, false, nil
+}
+
+// Observe commits the pending seed and feeds back its realized cascade:
+// activated is the set of nodes the seeding newly activated (the paper's
+// full-adoption feedback; Environment.Observe returns exactly this set).
+// The session removes them from its residual and counts them toward the
+// realized spread. Nodes already removed are ignored, so replaying an
+// observation is harmless.
+func (s *Session) Observe(activated []graph.NodeID) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.done {
+		return fmt.Errorf("adaptive: Observe on a finished campaign")
+	}
+	if !s.havePending {
+		return fmt.Errorf("adaptive: Observe without a pending seed (call NextSeed first)")
+	}
+	n := graph.NodeID(s.inst.G.N())
+	for _, u := range activated {
+		if u < 0 || u >= n {
+			return fmt.Errorf("adaptive: observed node %d outside [0,%d)", u, n)
+		}
+	}
+	s.seeds = append(s.seeds, s.pending)
+	s.havePending = false
+	for _, u := range activated {
+		if s.res.Remove(u) {
+			s.spread++
+		}
+	}
+	return nil
+}
+
+// Drive runs the session to completion against an environment — the batch
+// entry points' loop, shared with tests and the simulated service mode.
+func (s *Session) Drive(env *Environment) (*RunResult, error) {
+	for {
+		u, stop, err := s.NextSeed()
+		if err != nil {
+			return nil, err
+		}
+		if stop {
+			break
+		}
+		if err := s.Observe(env.Observe(u)); err != nil {
+			return nil, err
+		}
+	}
+	return s.Result(), nil
+}
+
+// Result snapshots the campaign outcome in the batch RunResult shape.
+// Wall-clock-independent fields of a completed session match the batch
+// run's exactly; on a live session it reports progress so far.
+func (s *Session) Result() *RunResult {
+	r := s.inst.finishResult(s.algo, s.seeds, s.spread)
+	s.step.finishInto(r)
+	return r
+}
+
+// Accessors for drivers (the service layer, checkpoint headers).
+func (s *Session) Algo() string { return s.algo }
+func (s *Session) Done() bool   { return s.done }
+func (s *Session) Err() error   { return s.err }
+func (s *Session) Rounds() int  { return len(s.seeds) }
+func (s *Session) Spread() int  { return s.spread }
+
+// Seeds returns a copy of the seeds committed so far, in seeding order.
+func (s *Session) Seeds() []graph.NodeID {
+	return append([]graph.NodeID(nil), s.seeds...)
+}
+
+// Pending returns the proposed-but-unobserved seed, if any.
+func (s *Session) Pending() (graph.NodeID, bool) { return s.pending, s.havePending }
+
+// CloneResidual returns an independent copy of the session's residual
+// view, alive-list order included — the resume path uses it to rebuild a
+// simulated environment in lockstep with the restored session.
+func (s *Session) CloneResidual() *graph.Residual { return s.res.Clone() }
+
+// SetInterrupt installs a cancellation poll: it is checked before every
+// round and, for the RR-sampling steppers, mid-batch inside the draw
+// loops (ris.SamplerPool.SetInterrupt), so closing a campaign or
+// exceeding a sweep cell budget stops within a stride of draws rather
+// than at the next round boundary. The function must be safe for
+// concurrent use.
+func (s *Session) SetInterrupt(f func() error) {
+	s.interrupt = f
+	s.step.setInterrupt(f)
+}
+
+// ---------------------------------------------------------------------------
+// Sequential-policy stepper (the PolicySequential round body, moved
+// verbatim from the former runSequential loop).
+
+type seqStepper struct {
+	reg  regime
+	opts SamplingOptions
+	b    *ris.Batcher
+
+	deltaRound float64
+	zetaMin    float64
+	capTheta   int
+
+	fallbacks, attempts, certifiedEarly int
+}
+
+// newSamplingStepper builds the stepper for the configured sampling
+// policy. warm, when non-nil, donates its storage (collection arenas,
+// coverage counts, pool scratch) to the sequential controller; it is
+// Reset first, so campaign results are independent of what it previously
+// held. The fixed policy manages its collection directly and ignores it.
+func newSamplingStepper(inst *Instance, reg regime, opts SamplingOptions, warm *ris.Batcher) (stepper, error) {
+	switch opts.Policy {
+	case PolicySequential:
+		return newSeqStepper(inst, reg, opts, warm)
+	case PolicyFixed:
+		return newFixedStepper(inst, reg, opts)
+	default:
+		return nil, fmt.Errorf("adaptive: unknown sampling policy %q (have %v)", opts.Policy, SamplingPolicies)
+	}
+}
+
+func newSeqStepper(inst *Instance, reg regime, opts SamplingOptions, warm *ris.Batcher) (*seqStepper, error) {
+	// Union bound over rounds only: the run seeds at most |T| targets, and
+	// within a round the confidence sequence spends its δ_round across
+	// looks by itself.
+	deltaRound := opts.Delta / float64(len(inst.Targets))
+	zetaMin := opts.Zeta / math.Exp2(float64(opts.MaxRefine))
+	capTheta, err := reg.theta(zetaMin, deltaRound)
+	if err != nil {
+		return nil, fmt.Errorf("adaptive: %s: %w", reg.name(), err)
+	}
+	b := warm
+	if b != nil {
+		if b.Model() != inst.Model {
+			return nil, fmt.Errorf("adaptive: warm batcher draws under %v, instance needs %v", b.Model(), inst.Model)
+		}
+		b.Reset()
+	} else {
+		b = ris.NewBatcher(inst.Model)
+	}
+	b.SetReuse(!opts.NoReuse)
+	b.EnableCoverage()
+	return &seqStepper{
+		reg: reg, opts: opts, b: b,
+		deltaRound: deltaRound, zetaMin: zetaMin, capTheta: capTheta,
+	}, nil
+}
+
+func (st *seqStepper) setInterrupt(f func() error) { st.b.SetInterrupt(f) }
+
+func (st *seqStepper) next(s *Session) (graph.NodeID, bool, error) {
+	res := s.res
+	s.alive = s.inst.aliveTargets(res, s.alive)
+	if len(s.alive) == 0 {
+		return 0, true, nil
+	}
+	nAlive := res.N()
+	carried := st.b.Sync(res)
+	target := st.opts.InitialBatch
+	if carried > target {
+		target = carried
+	}
+	if target > st.capTheta {
+		target = st.capTheta
+	}
+	for k := 1; ; k++ {
+		n, err := st.b.GrowTo(res, s.r, target, st.opts.Workers)
+		if err != nil {
+			return 0, true, err
+		}
+		st.attempts++
+		if n == 0 {
+			return 0, true, nil
+		}
+		deltaK := bounds.SpendGeometric(st.deltaRound, k)
+		// Per-target marginal profit from the tracked containment counts.
+		// The effective sample size is the full collection, which can
+		// exceed this look's target when a round starts from a larger
+		// filtered carry-over. Within-round growth keeps the certificates
+		// exact (same residual, independent samples); sets kept across
+		// rounds additionally carry Filter's root-mix tilt, so cross-round
+		// certificates are exact per root but approximate in the root
+		// marginal — NoReuse restores the paper's from-scratch sampling
+		// when that matters.
+		best := graph.NodeID(-1)
+		bestProfit, bestLower := 0.0, 0.0
+		maxUpper, maxWidth := 0.0, 0.0
+		for _, u := range s.alive {
+			frac := float64(st.b.Count(u)) / float64(n)
+			w := bounds.AnytimeWidth(n, frac, deltaK)
+			cost := s.inst.Costs.Cost(u)
+			profit := clampSpread(frac*float64(nAlive), nAlive) - cost
+			if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
+				best, bestProfit = u, profit
+				bestLower = clampSpread((frac-w)*float64(nAlive), nAlive) - cost
+			}
+			if up := clampSpread((frac+w)*float64(nAlive), nAlive) - cost; up > maxUpper {
+				maxUpper = up
+			}
+			if w > maxWidth {
+				maxWidth = w
+			}
+		}
+		switch {
+		case bestLower > 0:
+			// Seeding certified.
+			if maxWidth > st.zetaMin && n < st.capTheta {
+				st.certifiedEarly++
+			}
+			return best, false, nil
+		case maxUpper <= 0:
+			// Stopping certified: no target can have positive profit.
+			if maxWidth > st.zetaMin && n < st.capTheta {
+				st.certifiedEarly++
+			}
+			return 0, true, nil
+		case maxWidth <= st.zetaMin || n >= st.capTheta:
+			// Precision frontier reached: every estimate is within the
+			// fixed loop's terminal ζ_min, so deciding on the point
+			// estimate is at least as sharp as the fixed fallback.
+			st.fallbacks++
+			if bestProfit > 0 {
+				return best, false, nil
+			}
+			return 0, true, nil
+		default:
+			target = 2 * n
+			if target > st.capTheta {
+				target = st.capTheta
+			}
+		}
+	}
+}
+
+func (st *seqStepper) finishInto(r *RunResult) {
+	r.RRDrawn = st.b.Drawn()
+	r.RRRequested = st.b.Requested()
+	r.RRReused = st.b.Reused()
+	r.RRPeakBytes = st.b.PeakBytes()
+	r.SamplingNS = st.b.SamplingNS()
+	r.Fallbacks = st.fallbacks
+	r.Attempts = st.attempts
+	r.RRBatches = st.b.Batches()
+	r.CertifiedEarly = st.certifiedEarly
+	r.Sampler = PolicySequential
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-policy stepper (the PolicyFixed attempt loop, moved verbatim from
+// the former runFixed; bit-identical RNG consumption and decisions).
+
+type fixedStepper struct {
+	reg  regime
+	opts SamplingOptions
+
+	deltaRound float64
+	col        *ris.Collection
+	// One persistent sampler pool serves every attempt of every round:
+	// per-worker scratch (visited marks, stacks, chunks) survives across
+	// the run instead of being reallocated per generation call.
+	pool *ris.SamplerPool
+
+	fallbacks, attempts, batches, certifiedEarly int
+	drawn, requested, reused, peakBytes          int64
+	samplingNS                                   int64
+}
+
+func newFixedStepper(inst *Instance, reg regime, opts SamplingOptions) (*fixedStepper, error) {
+	// Union bound: each round may resample up to MaxRefine+1 times and the
+	// run lasts at most |T| rounds.
+	deltaRound := opts.Delta / float64(len(inst.Targets)*(opts.MaxRefine+1))
+	return &fixedStepper{
+		reg: reg, opts: opts,
+		deltaRound: deltaRound,
+		pool:       ris.NewSamplerPool(inst.Model),
+	}, nil
+}
+
+func (st *fixedStepper) setInterrupt(f func() error) { st.pool.SetInterrupt(f) }
+
+func (st *fixedStepper) next(s *Session) (graph.NodeID, bool, error) {
+	res := s.res
+	s.alive = s.inst.aliveTargets(res, s.alive)
+	if len(s.alive) == 0 {
+		return 0, true, nil
+	}
+	nAlive := res.N()
+	zeta := st.opts.Zeta
+	for attempt := 0; ; attempt++ {
+		theta, err := st.reg.theta(zeta, st.deltaRound)
+		if err != nil {
+			return 0, true, fmt.Errorf("adaptive: %s round %d: %w", st.reg.name(), len(s.seeds)+1, err)
+		}
+		st.attempts++
+		if st.opts.NoReuse || st.col == nil {
+			if st.col == nil {
+				st.col = ris.NewCollection(res.FullN())
+			} else {
+				st.col.Reset() // fresh θ, warm storage
+			}
+			start := time.Now()
+			st.pool.AppendParallel(st.col, res, s.r.Split(), theta, st.opts.Workers)
+			st.samplingNS += time.Since(start).Nanoseconds()
+			if err := st.pool.Err(); err != nil {
+				return 0, true, err
+			}
+			st.drawn += int64(st.col.Len())
+			st.requested += int64(st.col.Requested())
+			st.batches++
+		} else {
+			kept := st.col.Filter(res)
+			if kept > theta {
+				kept = theta // draws avoided vs a from-scratch attempt
+			}
+			st.reused += int64(kept)
+			if shortfall := theta - st.col.Len(); shortfall > 0 {
+				before := st.col.Len()
+				start := time.Now()
+				st.pool.AppendParallel(st.col, res, s.r.Split(), shortfall, st.opts.Workers)
+				st.samplingNS += time.Since(start).Nanoseconds()
+				if err := st.pool.Err(); err != nil {
+					return 0, true, err
+				}
+				st.drawn += int64(st.col.Len() - before)
+				st.requested += int64(shortfall)
+				st.batches++
+			}
+		}
+		if b := st.col.Bytes(); b > st.peakBytes {
+			st.peakBytes = b
+		}
+		if st.col.Len() == 0 {
+			return 0, true, nil
+		}
+		// Per-target marginal profit from single-node coverage counts.
+		// The effective sample size is col.Len(), which can exceed this
+		// attempt's θ when a new round starts from a larger filtered
+		// collection. For within-round growth the certificates hold
+		// verbatim (same residual, independent samples, θ' ≥ θ); sets
+		// kept across rounds additionally carry Filter's root-mix tilt,
+		// so cross-round certificates are exact per root but approximate
+		// in the root marginal — NoReuse restores the paper's
+		// from-scratch sampling when that matters.
+		best := graph.NodeID(-1)
+		bestProfit, bestFrac := 0.0, 0.0
+		maxUpper := 0.0
+		for _, u := range s.alive {
+			frac := float64(st.col.CountContaining(u)) / float64(st.col.Len())
+			est := clampSpread(frac*float64(nAlive), nAlive)
+			profit := est - s.inst.Costs.Cost(u)
+			if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
+				best, bestProfit, bestFrac = u, profit, frac
+			}
+			if up := st.reg.upper(frac, nAlive, zeta) - s.inst.Costs.Cost(u); up > maxUpper {
+				maxUpper = up
+			}
+		}
+		lowerBest := st.reg.lower(bestFrac, nAlive, zeta) - s.inst.Costs.Cost(best)
+		switch {
+		case lowerBest > 0:
+			// Seeding certified.
+			if attempt < st.opts.MaxRefine {
+				st.certifiedEarly++
+			}
+			return best, false, nil
+		case maxUpper <= 0:
+			// Stopping certified: no target can have positive profit.
+			if attempt < st.opts.MaxRefine {
+				st.certifiedEarly++
+			}
+			return 0, true, nil
+		case attempt >= st.opts.MaxRefine:
+			// Confidence budget exhausted; decide on the estimate.
+			st.fallbacks++
+			if bestProfit > 0 {
+				return best, false, nil
+			}
+			return 0, true, nil
+		default:
+			zeta /= 2
+		}
+	}
+}
+
+func (st *fixedStepper) finishInto(r *RunResult) {
+	r.RRDrawn = st.drawn
+	r.RRRequested = st.requested
+	r.RRReused = st.reused
+	r.RRPeakBytes = st.peakBytes
+	r.SamplingNS = st.samplingNS
+	r.Fallbacks = st.fallbacks
+	r.Attempts = st.attempts
+	r.RRBatches = st.batches
+	r.CertifiedEarly = st.certifiedEarly
+	r.Sampler = PolicyFixed
+}
+
+// ---------------------------------------------------------------------------
+// ADG stepper (the oracle-greedy round body, moved verbatim from the
+// former RunADG loop).
+
+// batchOracle is the concurrent-singleton-query fast path (oracle.RIS
+// with workers set); the floats are identical to per-node ExpectedSpread
+// calls, so the policy's picks don't depend on which path ran.
+type batchOracle interface {
+	SingleSpreads(res *graph.Residual, nodes []graph.NodeID, out []float64)
+}
+
+type adgStepper struct {
+	orc     oracle.Oracle
+	bo      batchOracle
+	batched bool
+	spreads []float64
+	query   []graph.NodeID
+}
+
+func newADGStepper(orc oracle.Oracle) *adgStepper {
+	st := &adgStepper{orc: orc, query: make([]graph.NodeID, 1)}
+	st.bo, st.batched = orc.(batchOracle)
+	return st
+}
+
+func (st *adgStepper) setInterrupt(f func() error) {
+	if ro, ok := st.orc.(*oracle.RIS); ok {
+		ro.SetInterrupt(f)
+	}
+}
+
+func (st *adgStepper) next(s *Session) (graph.NodeID, bool, error) {
+	res := s.res
+	s.alive = s.inst.aliveTargets(res, s.alive)
+	if len(s.alive) == 0 {
+		return 0, true, nil
+	}
+	if st.batched {
+		if cap(st.spreads) < len(s.alive) {
+			st.spreads = make([]float64, len(s.alive))
+		}
+		st.spreads = st.spreads[:len(s.alive)]
+		st.bo.SingleSpreads(res, s.alive, st.spreads)
+	}
+	best := graph.NodeID(-1)
+	bestProfit := 0.0
+	for i, u := range s.alive {
+		var spread float64
+		if st.batched {
+			spread = st.spreads[i]
+		} else {
+			st.query[0] = u
+			spread = st.orc.ExpectedSpread(res, st.query)
+		}
+		p := spread - s.inst.Costs.Cost(u)
+		if p > bestProfit || (p == bestProfit && best >= 0 && u < best) {
+			best, bestProfit = u, p
+		}
+	}
+	// An interrupted RIS refresh voids every answer above; surface it
+	// instead of seeding on garbage.
+	if ro, ok := st.orc.(*oracle.RIS); ok {
+		if err := ro.Err(); err != nil {
+			return 0, true, err
+		}
+	}
+	if best < 0 || bestProfit <= 0 {
+		return 0, true, nil
+	}
+	return best, false, nil
+}
+
+func (st *adgStepper) finishInto(r *RunResult) {
+	if ro, ok := st.orc.(*oracle.RIS); ok {
+		r.RRDrawn = ro.TotalDrawn()
+		r.RRRequested = ro.TotalRequested()
+		r.RRReused = ro.TotalReused()
+		r.RRPeakBytes = ro.PeakRRBytes()
+		r.SamplingNS = ro.SamplingNS()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Nonadaptive steppers: selection happens once, then the chosen seeds are
+// dispensed one per round so nonadaptive baselines flow through the same
+// session lifecycle (and the same service endpoints) as the adaptive
+// policies.
+
+type nsgStepper struct {
+	theta, workers int
+
+	selected bool
+	chosen   []graph.NodeID
+	idx      int
+
+	drawn, requested, peakBytes, samplingNS int64
+}
+
+func (st *nsgStepper) setInterrupt(func() error) {}
+
+func (st *nsgStepper) next(s *Session) (graph.NodeID, bool, error) {
+	if !st.selected {
+		chosen, col, samplingNS, err := NonadaptiveGreedySelect(s.inst, st.theta, s.r, st.workers)
+		if err != nil {
+			return 0, true, err
+		}
+		st.selected = true
+		st.chosen = chosen
+		st.samplingNS = samplingNS
+		if col != nil {
+			st.drawn = int64(col.Len())
+			st.requested = int64(col.Requested())
+			st.peakBytes = col.Bytes()
+		}
+	}
+	if st.idx >= len(st.chosen) {
+		return 0, true, nil
+	}
+	u := st.chosen[st.idx]
+	st.idx++
+	// Chosen upfront, dispensed even if a previous seed's cascade already
+	// activated it — seeding a dead node activates nothing, exactly the
+	// nonadaptive semantics of the batch implementation.
+	return u, false, nil
+}
+
+func (st *nsgStepper) finishInto(r *RunResult) {
+	r.RRDrawn = st.drawn
+	r.RRRequested = st.requested
+	r.RRPeakBytes = st.peakBytes
+	r.SamplingNS = st.samplingNS
+}
+
+type allTargetsStepper struct {
+	idx int
+}
+
+func (st *allTargetsStepper) setInterrupt(func() error) {}
+
+func (st *allTargetsStepper) next(s *Session) (graph.NodeID, bool, error) {
+	if st.idx >= len(s.inst.Targets) {
+		return 0, true, nil
+	}
+	u := s.inst.Targets[st.idx]
+	st.idx++
+	return u, false, nil
+}
+
+func (st *allTargetsStepper) finishInto(*RunResult) {}
+
+// runSampling keeps the historical batch contract of Algorithms 3 and 4
+// (RunADDATP, RunHATP): validate, default, build the policy's stepper,
+// and drive the session against env. Each round estimates every alive
+// target's marginal spread as n_i·Cov(u)/θ from RR sets on the residual
+// graph, and then either seeds the best target (profit lower bound
+// positive), terminates (every upper bound ≤ 0), or draws more — falling
+// back to the point estimate at the policy's sampling frontier so a
+// marginal profit sitting exactly at 0 cannot loop forever.
+func runSampling(inst *Instance, env *Environment, reg regime, opts SamplingOptions, r *rng.RNG) (*RunResult, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	opts.setDefaults()
+	step, err := newSamplingStepper(inst, reg, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	return newShell(inst, reg.name(), RunOptions{Sampling: opts}, r, step).Drive(env)
+}

@@ -91,7 +91,7 @@ func ConfidenceInterval(theta int, delta float64) float64 {
 // boundary comes from spending the failure budget across looks
 // (SpendGeometric) and evaluating a per-look confidence interval
 // (AnytimeWidth) at the spent budget — a union bound over an infinite
-// sequence of looks, Σ_k δ_k = δ, in place of runSampling's old
+// sequence of looks, Σ_k δ_k = δ, in place of the fixed policy's
 // MaxRefine-based union bound.
 
 // SpendGeometric returns δ_k, the share of the failure budget δ spent at

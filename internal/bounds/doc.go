@@ -11,8 +11,9 @@
 //     refinement is cheap.
 //
 // The fixed-θ lemmas certify a decision only at their precomputed sample
-// sizes. For the sequential sampling controller (adaptive.runSequential)
-// the package additionally provides anytime-valid confidence sequences:
+// sizes. For the sequential sampling controller (the seq-policy session
+// stepper in package adaptive) the package additionally provides
+// anytime-valid confidence sequences:
 // SpendGeometric splits a failure budget δ across an infinite sequence of
 // looks (δ_k = δ/(k(k+1))), and AnytimeWidth evaluates a per-look
 // two-sided half-width as the tighter of Hoeffding and empirical

@@ -1,5 +1,7 @@
 package graph
 
+import "fmt"
+
 // Residual is a view of a Graph with a subset of nodes removed — the
 // paper's residual graph G_i obtained by deleting every node activated by
 // earlier seeds. It is a mask over the immutable CSR arrays: removal is
@@ -132,6 +134,35 @@ func (r *Residual) Clone() *Residual {
 	copy(cp.aliveList, r.aliveList)
 	copy(cp.pos, r.pos)
 	return cp
+}
+
+// RestoreAlive rewrites the view to exactly the given alive list — in the
+// given order — and version counter, discarding the current state. It is
+// the checkpoint-restore counterpart of AliveList: the list order is a
+// deterministic function of the removal history and feeds uniform root
+// sampling, so restoring it verbatim makes post-restore sampling
+// bit-identical to the uninterrupted run. The input slice is copied.
+func (r *Residual) RestoreAlive(alive []NodeID, version int64) error {
+	n := NodeID(r.g.N())
+	if len(alive) > int(n) {
+		return fmt.Errorf("graph: restore with %d alive nodes on a %d-node graph", len(alive), n)
+	}
+	for i := range r.pos {
+		r.pos[i] = -1
+	}
+	r.aliveList = r.aliveList[:0]
+	for i, u := range alive {
+		if u < 0 || u >= n {
+			return fmt.Errorf("graph: restore alive node %d outside [0,%d)", u, n)
+		}
+		if r.pos[u] >= 0 {
+			return fmt.Errorf("graph: restore alive list repeats node %d", u)
+		}
+		r.pos[u] = int32(i)
+		r.aliveList = append(r.aliveList, u)
+	}
+	r.version = version
+	return nil
 }
 
 // Reset restores all nodes to alive (and the alive list to increasing

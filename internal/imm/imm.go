@@ -103,7 +103,9 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 		if opts.NoReuse && b.Collection() != nil {
 			b.Collection().Reset()
 		}
-		b.GrowTo(res, r, thetaI, opts.Workers)
+		if _, err := b.GrowTo(res, r, thetaI, opts.Workers); err != nil {
+			return nil, err
+		}
 		collection := b.Collection()
 		all := allNodes(n)
 		seeds, cum := collection.GreedyMaxCoverageWorkers(all, k, opts.Workers)
@@ -132,7 +134,9 @@ func Select(g *graph.Graph, k int, opts Options) (*Result, error) {
 	if b.Collection() != nil {
 		b.Collection().Reset()
 	}
-	b.GrowTo(res, r, theta, opts.Workers)
+	if _, err := b.GrowTo(res, r, theta, opts.Workers); err != nil {
+		return nil, err
+	}
 	collection := b.Collection()
 	seeds, cum := collection.GreedyMaxCoverageWorkers(allNodes(n), k, opts.Workers)
 	spread := 0.0

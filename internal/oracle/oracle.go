@@ -134,6 +134,11 @@ type RIS struct {
 	cachedAlive   int
 	workers       int
 	reuse         bool
+	// err is the first refresh failure (an interrupt aborting a batch
+	// mid-draw). The Oracle interface cannot surface it per query, so it is
+	// sticky: once set, every answer is void and callers must check Err
+	// after their query loop.
+	err error
 }
 
 // NewRIS builds an RIS-backed oracle drawing theta RR sets per residual
@@ -229,6 +234,15 @@ func (o *RIS) SetReuse(on bool) {
 	o.b.SetReuse(on)
 }
 
+// SetInterrupt installs a cancellation poll on the oracle's batcher; a
+// refresh aborted mid-batch voids the oracle (see Err). nil removes it.
+func (o *RIS) SetInterrupt(f func() error) { o.b.SetInterrupt(f) }
+
+// Err reports the first refresh abort (nil while the oracle is healthy).
+// Answers given after Err becomes non-nil are meaningless; drivers poll it
+// once per round, after their query batch.
+func (o *RIS) Err() error { return o.err }
+
 // Refresh brings the cached RR collection up to date with the residual's
 // version. On the first call it generates θ sets from scratch; afterwards
 // it compacts the collection to the sets still valid on the mutated
@@ -237,6 +251,9 @@ func (o *RIS) SetReuse(on bool) {
 // adaptive drivers can force the per-round resampling (and account for
 // it) at a well-defined point.
 func (o *RIS) Refresh(res *graph.Residual) {
+	if o.err != nil {
+		return
+	}
 	if o.cachedVersion == res.Version() && o.b.Collection() != nil {
 		return
 	}
@@ -248,9 +265,60 @@ func (o *RIS) Refresh(res *graph.Residual) {
 		w = 1
 	}
 	o.b.Sync(res) // filter (reuse) or reset (default)
-	o.b.GrowTo(res, o.r, o.theta, w)
+	if _, err := o.b.GrowTo(res, o.r, o.theta, w); err != nil {
+		o.err = err
+		return
+	}
 	o.cachedVersion = res.Version()
 	o.cachedAlive = res.N()
+}
+
+// RISState is the serializable snapshot of a RIS oracle: its RNG stream,
+// version cache, and batcher (collection + accounting). Configuration
+// (theta, workers, reuse) is captured too so a restored oracle resamples
+// exactly as the original would — worker count shapes the draw→substream
+// mapping, so silently restoring under a different one would fork the
+// stream.
+type RISState struct {
+	RNGState      uint64
+	RNGInc        uint64
+	Theta         int
+	Workers       int
+	Reuse         bool
+	CachedVersion int64
+	CachedAlive   int
+	Batcher       ris.BatcherState
+}
+
+// State captures the oracle's snapshot for checkpointing. Only quiescent
+// oracles (no query in flight) may be captured.
+func (o *RIS) State() RISState {
+	st := RISState{
+		Theta:         o.theta,
+		Workers:       o.workers,
+		Reuse:         o.reuse,
+		CachedVersion: o.cachedVersion,
+		CachedAlive:   o.cachedAlive,
+		Batcher:       o.b.State(),
+	}
+	st.RNGState, st.RNGInc = o.r.State()
+	return st
+}
+
+// RestoreState overwrites the oracle with a captured snapshot. fullN is
+// the indexed graph's node count (see ris.Batcher.RestoreState).
+func (o *RIS) RestoreState(st RISState, fullN int) error {
+	if st.Theta <= 0 {
+		return fmt.Errorf("oracle: restore with theta %d", st.Theta)
+	}
+	o.theta = st.Theta
+	o.workers = st.Workers
+	o.SetReuse(st.Reuse)
+	o.cachedVersion = st.CachedVersion
+	o.cachedAlive = st.CachedAlive
+	o.err = nil
+	o.r.SetState(st.RNGState, st.RNGInc)
+	return o.b.RestoreState(st.Batcher, fullN)
 }
 
 // Collection returns the RR collection backing the current residual

@@ -31,8 +31,8 @@
 //     generation. Worker scratch, RNG stream objects and output chunks
 //     survive across attempts, rounds, and algorithms, so a warm pool
 //     draws a whole attempt with zero allocations (asserted by
-//     TestAppendParallelWarmNoAllocs). The adaptive round loop
-//     (adaptive.runSampling), oracle.RIS and imm.Select each own one.
+//     TestAppendParallelWarmNoAllocs). The adaptive session steppers,
+//     oracle.RIS and imm.Select each own one.
 //   - Collection (collection.go): CSR/arena storage — one flat node arena
 //     plus per-set offsets, and a lazily built CSR inverted index — so a
 //     collection is ~4 contiguous allocations regardless of θ. Reset

@@ -3,6 +3,7 @@ package ris
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cascade"
 	"repro/internal/graph"
@@ -30,7 +31,32 @@ type SamplerPool struct {
 	streams  []*rng.RNG
 	chunks   []chunk
 	quota    []int
+
+	// interrupt, when non-nil, is polled during generation (every
+	// interruptStride draws per worker); a non-nil return aborts the batch
+	// mid-draw-loop, leaving the destination collection untouched (multi-
+	// worker) or short (single worker), and is reported by Err until the
+	// next batch. The function must be safe for concurrent use — every
+	// worker calls it.
+	interrupt func() error
+	err       error
 }
+
+// interruptStride is how many RR draws a worker performs between interrupt
+// polls: frequent enough that a cancelled campaign or an exceeded cell
+// budget stops within milliseconds, rare enough that the poll (often an
+// atomic load plus a clock read) never shows up in sampling throughput.
+const interruptStride = 64
+
+// SetInterrupt installs (or, with nil, removes) the cancellation poll for
+// future batches. With no interrupt installed the draw loops are exactly
+// the historical ones.
+func (p *SamplerPool) SetInterrupt(f func() error) { p.interrupt = f }
+
+// Err reports whether the most recent AppendParallel batch was aborted by
+// the interrupt, and with what error. It is reset at the start of every
+// batch.
+func (p *SamplerPool) Err() error { return p.err }
 
 // NewSamplerPool creates an empty pool drawing under the given model.
 // Workers are materialized lazily on first use.
@@ -58,6 +84,13 @@ func (p *SamplerPool) grow(workers int) {
 // workers <= 0 means GOMAXPROCS. The residual view is shared read-only;
 // callers must not mutate it during generation.
 func (p *SamplerPool) AppendParallel(c *Collection, res *graph.Residual, parent *rng.RNG, count, workers int) {
+	p.err = nil
+	if p.interrupt != nil {
+		if err := p.interrupt(); err != nil {
+			p.err = err
+			return
+		}
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -72,7 +105,32 @@ func (p *SamplerPool) AppendParallel(c *Collection, res *graph.Residual, parent 
 		parent.SplitTo(p.streams[0])
 		s := p.samplers[0]
 		s.bind(res, p.streams[0])
-		s.AppendTo(c, count)
+		if p.interrupt == nil {
+			s.AppendTo(c, count)
+			return
+		}
+		// Chunked draws poll the interrupt between strides. The RNG stream
+		// and the appended sets are identical to one AppendTo(c, count)
+		// call — chunking only splits the loop, and the per-chunk
+		// noteRequested calls sum to count.
+		for done := 0; done < count; {
+			n := interruptStride
+			if rest := count - done; rest < n {
+				n = rest
+			}
+			before := c.Len()
+			s.AppendTo(c, n)
+			done += n
+			if c.Len()-before < n {
+				return // empty residual; AppendTo gave up early
+			}
+			if done < count {
+				if err := p.interrupt(); err != nil {
+					p.err = err
+					return
+				}
+			}
+		}
 		return
 	}
 	// Deterministic per-worker quotas and streams.
@@ -85,6 +143,13 @@ func (p *SamplerPool) AppendParallel(c *Collection, res *graph.Residual, parent 
 		p.quota = append(p.quota, q)
 		parent.SplitTo(p.streams[i])
 	}
+	// Cancellation fan-in: the first worker whose interrupt poll fails
+	// records the error and raises the stop flag; every worker checks the
+	// flag per draw (one atomic load) and the function itself only once per
+	// interruptStride draws.
+	var stop atomic.Bool
+	var stopOnce sync.Once
+	var stopErr error
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -97,6 +162,18 @@ func (p *SamplerPool) AppendParallel(c *Collection, res *graph.Residual, parent 
 			ck.lens = ck.lens[:0]
 			ck.roots = ck.roots[:0]
 			for i := 0; i < p.quota[w]; i++ {
+				if p.interrupt != nil {
+					if stop.Load() {
+						return
+					}
+					if i%interruptStride == interruptStride-1 {
+						if err := p.interrupt(); err != nil {
+							stopOnce.Do(func() { stopErr = err })
+							stop.Store(true)
+							return
+						}
+					}
+				}
 				root, ok := s.drawTouched()
 				if !ok {
 					break
@@ -108,6 +185,12 @@ func (p *SamplerPool) AppendParallel(c *Collection, res *graph.Residual, parent 
 		}(w)
 	}
 	wg.Wait()
+	if stop.Load() {
+		// Aborted: leave c untouched so the caller sees a consistent (if
+		// short) collection; the error makes the whole batch void.
+		p.err = stopErr
+		return
+	}
 	c.noteRequested(count)
 	c.noteVersion(res.Version())
 	for w := 0; w < workers; w++ {

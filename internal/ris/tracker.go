@@ -72,6 +72,7 @@ func (cov *Coverage) reset() {
 // θ search, and oracle.RIS.Refresh all draw through a Batcher instead of
 // hand-rolling the same loop.
 type Batcher struct {
+	model   cascade.Model
 	pool    *SamplerPool
 	col     *Collection
 	cov     *Coverage
@@ -80,18 +81,51 @@ type Batcher struct {
 
 	drawn, requested, reused, peakBytes, samplingNS int64
 	batches                                         int
+
+	// scratch is the reusable child stream GrowTo derives from its parent
+	// each batch (SplitTo instead of Split), so steady-state rounds on a
+	// warm batcher stay allocation-free. Never serialized: it is reseeded
+	// from the parent before every use.
+	scratch rng.RNG
 }
 
 // NewBatcher creates a batcher drawing under the given model. Cross-version
 // reuse is on by default; SetReuse(false) makes Sync regenerate from
 // scratch instead of validity-filtering.
 func NewBatcher(model cascade.Model) *Batcher {
-	return &Batcher{pool: NewSamplerPool(model), reuse: true}
+	return &Batcher{model: model, pool: NewSamplerPool(model), reuse: true}
 }
+
+// Model returns the diffusion model the batcher draws under. Warm-reuse
+// callers (the service instance registry) use it to refuse handing a
+// batcher to a run under a different model.
+func (b *Batcher) Model() cascade.Model { return b.model }
 
 // SetReuse toggles cross-version reuse (see Collection.Filter for the
 // root-mix caveat of keeping filtered sets).
 func (b *Batcher) SetReuse(on bool) { b.reuse = on }
+
+// SetInterrupt installs a cancellation poll on the underlying sampler
+// pool: GrowTo batches abort mid-draw when it returns an error (see
+// SamplerPool.SetInterrupt). nil removes it.
+func (b *Batcher) SetInterrupt(f func() error) { b.pool.SetInterrupt(f) }
+
+// Reset returns the batcher to its freshly constructed state while keeping
+// every warm buffer: the collection's arenas, the coverage tracker's count
+// array, and the pool's per-worker samplers all survive for the next run.
+// Accounting is zeroed and the collection emptied (version −1), so a new
+// campaign checked out on a warm batcher can never mistake a previous
+// campaign's RR sets for its own — in particular, a fresh residual's
+// version 0 must not collide with stale sets drawn on some earlier
+// residual's version 0 (Collection.Filter is version-keyed).
+func (b *Batcher) Reset() {
+	if b.col != nil {
+		b.col.Reset()
+	}
+	b.pool.SetInterrupt(nil)
+	b.drawn, b.requested, b.reused, b.peakBytes, b.samplingNS = 0, 0, 0, 0, 0
+	b.batches = 0
+}
 
 // EnableCoverage attaches an incremental Coverage tracker to the batcher's
 // collection; GrowTo keeps it current after every batch.
@@ -132,17 +166,23 @@ func (b *Batcher) Sync(res *graph.Residual) int {
 // shortfall through the persistent pool (one batch; RNG substreams are
 // split off parent only when something is drawn). The coverage tracker, if
 // enabled, is brought current. It returns the collection size, which can
-// fall short of target only when the residual has no alive nodes.
-func (b *Batcher) GrowTo(res *graph.Residual, parent *rng.RNG, target, workers int) int {
+// fall short of target only when the residual has no alive nodes — or when
+// the installed interrupt aborted the batch, in which case the error is
+// non-nil and the collection contents must be treated as void.
+func (b *Batcher) GrowTo(res *graph.Residual, parent *rng.RNG, target, workers int) (int, error) {
 	c := b.ensureCol(res)
 	if shortfall := target - c.Len(); shortfall > 0 {
 		before := c.Len()
 		start := time.Now()
-		b.pool.AppendParallel(c, res, parent.Split(), shortfall, workers)
+		parent.SplitTo(&b.scratch) // parent advances exactly as Split would
+		b.pool.AppendParallel(c, res, &b.scratch, shortfall, workers)
 		b.samplingNS += time.Since(start).Nanoseconds()
 		b.drawn += int64(c.Len() - before)
 		b.requested += int64(shortfall)
 		b.batches++
+		if err := b.pool.Err(); err != nil {
+			return c.Len(), err
+		}
 	}
 	if b.cov != nil {
 		b.cov.Update()
@@ -150,7 +190,7 @@ func (b *Batcher) GrowTo(res *graph.Residual, parent *rng.RNG, target, workers i
 	if bytes := c.Bytes(); bytes > b.peakBytes {
 		b.peakBytes = bytes
 	}
-	return c.Len()
+	return c.Len(), nil
 }
 
 // Count returns the tracked containment count of u (EnableCoverage first).

@@ -95,15 +95,15 @@ func TestBatcherAccountingAndReuse(t *testing.T) {
 	b := NewBatcher(cascade.IC)
 	b.EnableCoverage()
 	parent := rng.New(43)
-	if n := b.GrowTo(res, parent, 500, 2); n != 500 {
-		t.Fatalf("GrowTo returned %d, want 500", n)
+	if n, err := b.GrowTo(res, parent, 500, 2); n != 500 || err != nil {
+		t.Fatalf("GrowTo returned %d, %v, want 500, nil", n, err)
 	}
 	if b.Drawn() != 500 || b.Requested() != 500 || b.Batches() != 1 || b.Reused() != 0 {
 		t.Fatalf("fresh grow accounting drawn=%d requested=%d batches=%d reused=%d",
 			b.Drawn(), b.Requested(), b.Batches(), b.Reused())
 	}
 	// Growing to a target at or below Len draws nothing.
-	if b.GrowTo(res, parent, 400, 2); b.Drawn() != 500 || b.Batches() != 1 {
+	if _, _ = b.GrowTo(res, parent, 400, 2); b.Drawn() != 500 || b.Batches() != 1 {
 		t.Fatalf("no-op grow drew sets: drawn=%d batches=%d", b.Drawn(), b.Batches())
 	}
 	res.Remove(3)

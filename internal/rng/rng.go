@@ -54,6 +54,24 @@ func (r *RNG) Reseed(seed uint64) {
 	r.Uint32()
 }
 
+// State returns the generator's two state words (state, stream increment).
+// Together with SetState it round-trips a generator through a checkpoint:
+// a restored generator continues the exact output sequence the captured
+// one would have produced. The words are opaque; consumers must not
+// derive randomness from them.
+func (r *RNG) State() (state, inc uint64) { return r.state, r.inc }
+
+// SetState restores a state captured by State. The increment must be odd
+// (every State-produced increment is); SetState panics otherwise, because
+// an even increment silently degrades the stream to a shorter period.
+func (r *RNG) SetState(state, inc uint64) {
+	if inc&1 == 0 {
+		panic("rng: SetState with even increment (corrupt checkpoint?)")
+	}
+	r.state = state
+	r.inc = inc
+}
+
 // Split returns a new generator whose stream is independent of r's.
 // The child is a pure function of r's current state, so splitting is itself
 // deterministic; r advances as if one value had been drawn.

@@ -1,0 +1,317 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/adaptive"
+	"repro/internal/cascade"
+	"repro/internal/graph"
+	"repro/internal/ris"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// Campaign is one live adaptive session plus its feedback source. All
+// methods serialize on the campaign mutex; a Campaign outlives any single
+// HTTP request.
+type Campaign struct {
+	ID       string
+	Key      Key
+	Algo     string
+	Seed     uint64
+	Simulate bool
+
+	mu      sync.Mutex
+	inst    *Instance
+	sess    *adaptive.Session
+	env     *adaptive.Environment // nil in external-feedback mode
+	batcher *ris.Batcher
+	closed  bool
+}
+
+// optsFromSpec mirrors sweep.Execute's RunOptions construction, so a
+// served campaign runs under exactly the parameters a `repro run` with
+// the same spec would.
+func optsFromSpec(spec *sweep.Spec) adaptive.RunOptions {
+	return adaptive.RunOptions{
+		Sampling: adaptive.SamplingOptions{
+			Policy:  spec.Sampler,
+			Zeta:    spec.Zeta,
+			Eps:     spec.Eps,
+			Delta:   spec.Delta,
+			Workers: spec.Workers,
+		},
+		ADGTheta: spec.ADGTheta,
+		NSGTheta: spec.NSGTheta,
+	}
+}
+
+// StartCampaign acquires key's instance and opens a session for algo.
+//
+// The RNG discipline matches adaptive.RunExperiment exactly: one root
+// stream from seed, a world split, then an algorithm split — the world
+// split is consumed even in external-feedback mode, so a simulated and an
+// external campaign with the same seed propose identical first seeds, and
+// a simulated campaign with seed S+100 reproduces realization 0 of
+// `repro run --seed S`.
+func (r *Registry) StartCampaign(id string, key Key, algo string, seed uint64, simulate bool) (*Campaign, error) {
+	inst, err := r.Acquire(key)
+	if err != nil {
+		return nil, err
+	}
+	c, err := r.openCampaign(inst, id, key, algo, seed, simulate, nil)
+	if err != nil {
+		inst.Release()
+		return nil, err
+	}
+	return c, nil
+}
+
+// openCampaign builds the campaign around an already acquired instance.
+// resume, when non-nil, restores the session from a checkpoint blob
+// instead of starting fresh. Ownership of inst transfers on success only.
+func (r *Registry) openCampaign(inst *Instance, id string, key Key, algo string, seed uint64, simulate bool, resume []byte) (*Campaign, error) {
+	prep, err := inst.Prepared()
+	if err != nil {
+		return nil, err
+	}
+	b, err := inst.CheckoutBatcher()
+	if err != nil {
+		return nil, err
+	}
+	spec := r.Spec()
+	opts := optsFromSpec(&spec)
+	opts.Batcher = b
+
+	root := rng.New(seed)
+	worldRNG := root.Split()
+	var sess *adaptive.Session
+	if resume == nil {
+		algoRNG := root.Split()
+		sess, err = adaptive.NewSession(prep.Inst, algo, opts, algoRNG)
+	} else {
+		// The session RNG state rides in the blob; only the world stream is
+		// re-derived here, for the environment below.
+		sess, err = adaptive.ResumeSession(prep.Inst, resume, adaptive.ResumeOptions{Batcher: b})
+	}
+	if err != nil {
+		inst.ReturnBatcher(b)
+		return nil, err
+	}
+	if sess.Algo() != algo {
+		inst.ReturnBatcher(b)
+		return nil, fmt.Errorf("service: checkpoint algorithm %q, campaign says %q", sess.Algo(), algo)
+	}
+	var env *adaptive.Environment
+	if simulate {
+		rz := cascade.Sample(prep.G, prep.Inst.Model, worldRNG)
+		// The session's residual already reflects every observation made
+		// before the checkpoint, so the environment resumes in lockstep.
+		env = adaptive.NewEnvironmentAt(rz, sess.CloneResidual(), sess.Spread())
+	}
+	return &Campaign{
+		ID: id, Key: key, Algo: algo, Seed: seed, Simulate: simulate,
+		inst: inst, sess: sess, env: env, batcher: b,
+	}, nil
+}
+
+func (c *Campaign) failIfClosed() error {
+	if c.closed {
+		return fmt.Errorf("service: campaign %s is closed", c.ID)
+	}
+	return nil
+}
+
+// Next advances to the campaign's next proposal (external-feedback mode;
+// in simulate mode use Step). Calling it again before Observe returns the
+// same pending seed.
+func (c *Campaign) Next() (seed graph.NodeID, stop bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.failIfClosed(); err != nil {
+		return 0, true, err
+	}
+	return c.sess.NextSeed()
+}
+
+// Observe feeds back the realized activations of the pending proposal
+// (external-feedback mode).
+func (c *Campaign) Observe(activated []graph.NodeID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.failIfClosed(); err != nil {
+		return err
+	}
+	return c.sess.Observe(activated)
+}
+
+// Step runs one full propose-observe round against the campaign's own
+// simulated realization (simulate mode only).
+func (c *Campaign) Step() (seed graph.NodeID, stop bool, activated []graph.NodeID, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.failIfClosed(); err != nil {
+		return 0, true, nil, err
+	}
+	if c.env == nil {
+		return 0, true, nil, fmt.Errorf("service: campaign %s runs on external feedback; use next/observe", c.ID)
+	}
+	u, stop, err := c.sess.NextSeed()
+	if err != nil || stop {
+		return 0, true, nil, err
+	}
+	a := c.env.Observe(u)
+	if err := c.sess.Observe(a); err != nil {
+		return 0, true, nil, err
+	}
+	return u, false, a, nil
+}
+
+// Status is the campaign's progress snapshot.
+type Status struct {
+	ID       string         `json:"id"`
+	Key      Key            `json:"key"`
+	Algo     string         `json:"algo"`
+	Seed     uint64         `json:"seed"`
+	Simulate bool           `json:"simulate"`
+	Rounds   int            `json:"rounds"`
+	Spread   int            `json:"spread"`
+	Done     bool           `json:"done"`
+	Pending  *graph.NodeID  `json:"pending,omitempty"`
+	Seeds    []graph.NodeID `json:"seeds"`
+}
+
+// Status snapshots progress.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		ID: c.ID, Key: c.Key, Algo: c.Algo, Seed: c.Seed, Simulate: c.Simulate,
+		Rounds: c.sess.Rounds(), Spread: c.sess.Spread(), Done: c.sess.Done(),
+		Seeds: c.sess.Seeds(),
+	}
+	if p, ok := c.sess.Pending(); ok {
+		st.Pending = &p
+	}
+	return st
+}
+
+// Result snapshots the campaign outcome in the batch RunResult shape.
+func (c *Campaign) Result() *adaptive.RunResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess.Result()
+}
+
+// Close releases the campaign's resources (warm batcher back to the
+// instance pool, instance reference back to the registry). Idempotent.
+func (c *Campaign) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.inst.ReturnBatcher(c.batcher)
+	c.batcher = nil
+	c.inst.Release()
+}
+
+// ckptHeader is the JSON first line of a campaign checkpoint file — the
+// routing information Restore needs before it can rebuild the session
+// from the binary blob that follows.
+type ckptHeader struct {
+	Version  int    `json:"version"`
+	ID       string `json:"id"`
+	Key      Key    `json:"key"`
+	Algo     string `json:"algo"`
+	Seed     uint64 `json:"seed"`
+	Simulate bool   `json:"simulate"`
+	Rounds   int    `json:"rounds"`
+}
+
+const ckptEnvelopeVersion = 1
+
+// Checkpoint writes the campaign to dir as campaign-<id>.ckpt (temp file
+// + atomic rename, so a crash mid-write never leaves a torn file under
+// the final name) and returns the path.
+func (c *Campaign) Checkpoint(dir string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.failIfClosed(); err != nil {
+		return "", err
+	}
+	blob, err := c.sess.Checkpoint()
+	if err != nil {
+		return "", err
+	}
+	hdr, err := json.Marshal(ckptHeader{
+		Version: ckptEnvelopeVersion, ID: c.ID, Key: c.Key, Algo: c.Algo,
+		Seed: c.Seed, Simulate: c.Simulate, Rounds: c.sess.Rounds(),
+	})
+	if err != nil {
+		return "", err
+	}
+	final := filepath.Join(dir, "campaign-"+c.ID+".ckpt")
+	tmp, err := os.CreateTemp(dir, ".campaign-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(append(hdr, '\n')); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		return "", err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", err
+	}
+	return final, nil
+}
+
+// RestoreCampaign reads a checkpoint file and resumes the campaign it
+// holds: same ID, instance key, algorithm, seed, and mode, continuing
+// bit-identically from where Checkpoint left it.
+func (r *Registry) RestoreCampaign(file string) (*Campaign, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("service: %s: no header line (not a campaign checkpoint)", file)
+	}
+	var hdr ckptHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, fmt.Errorf("service: %s: corrupt header: %w", file, err)
+	}
+	if hdr.Version != ckptEnvelopeVersion {
+		return nil, fmt.Errorf("service: %s: envelope version %d not supported (this build reads %d)",
+			file, hdr.Version, ckptEnvelopeVersion)
+	}
+	inst, err := r.Acquire(hdr.Key)
+	if err != nil {
+		return nil, err
+	}
+	c, err := r.openCampaign(inst, hdr.ID, hdr.Key, hdr.Algo, hdr.Seed, hdr.Simulate, data[nl+1:])
+	if err != nil {
+		inst.Release()
+		return nil, fmt.Errorf("service: %s: %w", file, err)
+	}
+	return c, nil
+}

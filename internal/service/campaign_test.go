@@ -1,0 +1,261 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"repro/internal/adaptive"
+	"repro/internal/graph"
+)
+
+// driveCampaign steps a simulated campaign to completion.
+func driveCampaign(t *testing.T, c *Campaign) *adaptive.RunResult {
+	t.Helper()
+	for {
+		_, stop, _, err := c.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stop {
+			break
+		}
+	}
+	return c.Result()
+}
+
+// sameOutcome compares the deterministic core of two campaign results.
+// RRPeakBytes is capacity-based and SamplingNS is wall time, so neither
+// belongs in a determinism check.
+func sameOutcome(t *testing.T, got, want *adaptive.RunResult, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Seeds, want.Seeds) {
+		t.Errorf("%s: seeds %v, want %v", label, got.Seeds, want.Seeds)
+	}
+	if got.Rounds != want.Rounds || got.Spread != want.Spread || got.Profit != want.Profit {
+		t.Errorf("%s: rounds/spread/profit %d/%d/%g, want %d/%d/%g",
+			label, got.Rounds, got.Spread, got.Profit, want.Rounds, want.Spread, want.Profit)
+	}
+	if got.RRDrawn != want.RRDrawn || got.RRReused != want.RRReused {
+		t.Errorf("%s: rr drawn/reused %d/%d, want %d/%d",
+			label, got.RRDrawn, got.RRReused, want.RRDrawn, want.RRReused)
+	}
+}
+
+// TestConcurrentCampaignsShareOneInstance drives several same-seed
+// campaigns in parallel on a single registry entry (run under -race in
+// CI): preparation must happen once, and every campaign must produce the
+// identical seed sequence despite interleaved RR batches on separate
+// warm batchers.
+func TestConcurrentCampaignsShareOneInstance(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	const n = 5
+	results := make([]*adaptive.RunResult, n)
+	campaigns := make([]*Campaign, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := reg.StartCampaign(fmt.Sprintf("c%d", i), testKey(), adaptive.AlgoADDATP, 4242, true)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			campaigns[i] = c
+			for {
+				_, stop, _, err := c.Step()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if stop {
+					break
+				}
+			}
+			results[i] = c.Result()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("campaign %d: %v", i, err)
+		}
+	}
+
+	stats := reg.Stats()
+	if len(stats) != 1 || stats[0].Refs != n {
+		t.Fatalf("stats = %+v, want one entry with %d refs", stats, n)
+	}
+	for i := 1; i < n; i++ {
+		if campaigns[i].inst != campaigns[0].inst {
+			t.Fatal("concurrent campaigns got different instances for one key")
+		}
+		sameOutcome(t, results[i], results[0], fmt.Sprintf("campaign %d vs 0", i))
+	}
+	if len(results[0].Seeds) == 0 {
+		t.Fatal("campaigns selected no seeds; test instance too small to be meaningful")
+	}
+	for _, c := range campaigns {
+		c.Close()
+	}
+	if got := reg.Stats()[0].Warm; got != n {
+		t.Fatalf("warm batchers after close = %d, want %d", got, n)
+	}
+}
+
+// TestWarmSecondCampaignAllocFree runs the same campaign twice on one
+// instance. The second run rides entirely on warm state — pooled batcher
+// arenas, persistent samplers, the session's scratch buffers — so its
+// steady-state rounds (everything after round one) must not allocate at
+// all inside NextSeed/Observe. env.Observe is excluded: building the
+// activation list for the caller is the environment's job, not session
+// overhead.
+func TestWarmSecondCampaignAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	spec := testSpec()
+	spec.Workers = 1 // parallel draw dispatch spawns goroutines, which allocate
+	reg := NewRegistry(spec, 0)
+
+	run := func(measure bool) (res *adaptive.RunResult, mallocs uint64, rounds int) {
+		c, err := reg.StartCampaign("w", testKey(), adaptive.AlgoADDATP, 4242, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var before, after runtime.MemStats
+		step := func(f func() error) {
+			if measure && rounds >= 1 {
+				runtime.ReadMemStats(&before)
+				err := f()
+				runtime.ReadMemStats(&after)
+				mallocs += after.Mallocs - before.Mallocs
+				if err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			if err := f(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for {
+			var u graph.NodeID
+			var stop bool
+			step(func() (err error) { u, stop, err = c.sess.NextSeed(); return err })
+			if stop {
+				break
+			}
+			a := c.env.Observe(u)
+			step(func() error { return c.sess.Observe(a) })
+			rounds++
+		}
+		return c.Result(), mallocs, rounds
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	cold, _, _ := run(false)
+	warm, mallocs, rounds := run(true)
+
+	sameOutcome(t, warm, cold, "warm vs cold")
+	if rounds < 2 {
+		t.Fatalf("campaign finished in %d rounds; too short to observe steady state", rounds)
+	}
+	if mallocs != 0 {
+		t.Errorf("warm campaign allocated %d times across %d steady-state rounds, want 0", mallocs, rounds-1)
+	}
+}
+
+// TestCampaignCheckpointRestoreMatchesUninterrupted checkpoints a
+// simulated campaign after two rounds, closes it, restores from the file,
+// and finishes — the stitched run must match an uninterrupted same-seed
+// campaign exactly.
+func TestCampaignCheckpointRestoreMatchesUninterrupted(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	dir := t.TempDir()
+
+	ref, err := reg.StartCampaign("ref", testKey(), adaptive.AlgoADDATP, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveCampaign(t, ref)
+	ref.Close()
+
+	c, err := reg.StartCampaign("cut", testKey(), adaptive.AlgoADDATP, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, stop, _, err := c.Step(); err != nil || stop {
+			t.Fatalf("round %d: stop=%v err=%v (instance too small for a 2-round cut)", i, stop, err)
+		}
+	}
+	file, err := c.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	restored, err := reg.RestoreCampaign(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID != "cut" || restored.Seed != 31 || !restored.Simulate {
+		t.Fatalf("restored identity %q/%d/%v lost", restored.ID, restored.Seed, restored.Simulate)
+	}
+	got := driveCampaign(t, restored)
+	restored.Close()
+	sameOutcome(t, got, want, "restored vs uninterrupted")
+}
+
+// TestCampaignExternalFeedbackMode drives a campaign through Next/Observe
+// with caller-supplied activations (the serve API's external mode) and
+// checks mode gating both ways.
+func TestCampaignExternalFeedbackMode(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	c, err := reg.StartCampaign("x", testKey(), adaptive.AlgoADDATP, 99, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.Step(); err == nil {
+		t.Fatal("Step on an external-feedback campaign succeeded, want error")
+	}
+	rounds := 0
+	for {
+		u, stop, err := c.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stop {
+			break
+		}
+		// Pessimal world: only the seeded node itself activates.
+		if err := c.Observe([]graph.NodeID{u}); err != nil {
+			t.Fatal(err)
+		}
+		rounds++
+	}
+	st := c.Status()
+	if !st.Done || st.Rounds != rounds || st.Spread != rounds {
+		t.Fatalf("status %+v, want done after %d rounds with spread %d", st, rounds, rounds)
+	}
+
+	sim, err := reg.StartCampaign("s", testKey(), adaptive.AlgoADDATP, 99, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sim.Close()
+	if u, stop, err := sim.Next(); err != nil || stop {
+		t.Fatalf("Next on simulated campaign: %v/%v/%v", u, stop, err)
+	} // Next is also the external probe; proposing is mode-agnostic.
+	if sim.Status().Pending == nil {
+		t.Fatal("pending proposal missing from status")
+	}
+}

@@ -1,0 +1,48 @@
+// Package service hosts adaptive campaigns as long-lived state behind the
+// `repro serve` daemon: a warm instance registry, campaign lifecycle
+// management, and checkpoint envelopes.
+//
+// # Instance registry
+//
+// Preparing an experiment instance — materializing the dataset, running
+// IMM for the target set, calibrating costs — dominates the cost of short
+// campaigns (sweep.Prepare takes seconds on the larger datasets; a
+// campaign round takes milliseconds). The Registry caches Prepared
+// instances keyed on (dataset, model, cost setting, scale) with
+// ref-counted acquire/release accounting: concurrent campaigns on the
+// same key share one preparation (guarded by sync.Once, so N concurrent
+// acquisitions trigger exactly one Prepare), and idle instances beyond
+// the configured maximum are evicted least-recently-used. Eviction never
+// touches an instance with live references.
+//
+// Each instance also pools warm ris.Batchers: a campaign checks one out
+// at creation and returns it at close, so a steady stream of campaigns on
+// a warm instance reuses the RR collection arenas, coverage counts, and
+// sampler-pool scratch of its predecessors instead of reallocating them.
+// Batchers are Reset on checkout — campaign results are independent of
+// what a donated batcher previously held.
+//
+// # Campaigns
+//
+// A Campaign wraps one adaptive.Session plus its feedback source. In
+// simulate mode the server owns the realization (sampled from the
+// campaign seed with the same RNG discipline as adaptive.RunExperiment,
+// so a simulated campaign with seed S+100 reproduces realization 0 of
+// `repro run --seed S` exactly) and Step advances one full
+// propose-observe round. In external mode the client drives the loop:
+// Next returns the proposed seed, Observe feeds back the realized
+// activations from whatever real-world process the campaign controls.
+//
+// # Checkpoints
+//
+// Campaign.Checkpoint writes a self-describing envelope — one JSON header
+// line naming the instance key, algorithm, seed, and mode, followed by
+// the binary adaptive.Session checkpoint — via temp file + atomic rename.
+// Restore reacquires the instance from the header, resumes the session
+// (bit-identical continuation; see adaptive.ResumeSession), and in
+// simulate mode rebuilds the environment in lockstep by re-sampling the
+// realization from the stored seed and cloning the session's restored
+// residual. Server.Drain checkpoints every open campaign before
+// shutdown, which is what makes `repro serve` kill/restart/resume
+// transparent to clients.
+package service

@@ -1,0 +1,6 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports whether this build runs under the race detector.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether this build runs under the race detector.
+// Allocation-count tests skip themselves when it is on: the detector's
+// shadow-memory bookkeeping shows up as mallocs the production build
+// never makes.
+const raceEnabled = true

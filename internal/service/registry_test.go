@@ -1,0 +1,184 @@
+package service
+
+import (
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// testSpec is the shared-parameter spec every service test registers
+// with: nethept-s clamps to 64 nodes at scale 0.004, so preparation and
+// campaigns run in milliseconds (same trick as the sweep tests).
+func testSpec() sweep.Spec {
+	return sweep.Spec{
+		Datasets:     []string{"nethept-s"},
+		Models:       []string{"ic"},
+		CostSettings: []string{"uniform"},
+		Algos:        []string{"addatp"},
+		Scale:        0.004,
+		K:            5,
+		Reps:         2,
+		Seed:         7,
+		ADGTheta:     1000,
+		NSGTheta:     2000,
+	}
+}
+
+func testKey() Key {
+	return Key{Dataset: "nethept-s", Model: "ic", Cost: "uniform", Scale: 0.004}
+}
+
+func keyWithCost(cost string) Key {
+	k := testKey()
+	k.Cost = cost
+	return k
+}
+
+func TestRegistryAcquireSharesInstance(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	a, err := reg.Acquire(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.Acquire(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same key produced two instances")
+	}
+	pa, err := a.Prepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Prepared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatal("same instance prepared twice")
+	}
+
+	stats := reg.Stats()
+	if len(stats) != 1 || stats[0].Refs != 2 || !stats[0].Prepared {
+		t.Fatalf("stats = %+v, want one prepared entry with 2 refs", stats)
+	}
+	if stats[0].N == 0 || stats[0].Targets == 0 {
+		t.Fatalf("prepared stats missing graph shape: %+v", stats[0])
+	}
+	a.Release()
+	b.Release()
+	if stats := reg.Stats(); len(stats) != 1 || stats[0].Refs != 0 {
+		t.Fatalf("after release: stats = %+v, want idle entry kept warm", stats)
+	}
+}
+
+func TestRegistryRejectsBadKeys(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	bad := []Key{
+		{Dataset: "no-such", Model: "ic", Cost: "uniform", Scale: 0.004},
+		{Dataset: "nethept-s", Model: "icx", Cost: "uniform", Scale: 0.004},
+		{Dataset: "nethept-s", Model: "ic", Cost: "free", Scale: 0.004},
+		{Dataset: "nethept-s", Model: "ic", Cost: "uniform", Scale: 0},
+	}
+	for _, k := range bad {
+		if _, err := reg.Acquire(k); err == nil {
+			t.Errorf("Acquire(%v) succeeded, want error", k)
+		}
+	}
+	if len(reg.Stats()) != 0 {
+		t.Fatal("rejected keys left entries behind")
+	}
+}
+
+func TestRegistryLRUEvictsIdleOldestFirst(t *testing.T) {
+	reg := NewRegistry(testSpec(), 2)
+	touch := func(k Key) {
+		t.Helper()
+		inst, err := reg.Acquire(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Release()
+	}
+	// Eviction is metadata-only (preparation is lazy), so three distinct
+	// cost settings exercise it without paying three preparations.
+	touch(keyWithCost("uniform"))
+	touch(keyWithCost("random"))
+	touch(keyWithCost("degree-proportional"))
+
+	stats := reg.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d entries, want 2", len(stats))
+	}
+	for _, s := range stats {
+		if s.Key.Cost == "uniform" {
+			t.Fatal("LRU kept the oldest idle entry")
+		}
+	}
+}
+
+func TestRegistryNeverEvictsLiveRefs(t *testing.T) {
+	reg := NewRegistry(testSpec(), 1)
+	held, err := reg.Acquire(keyWithCost("uniform"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cost := range []string{"random", "degree-proportional"} {
+		inst, err := reg.Acquire(keyWithCost(cost))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.Release()
+	}
+	found := false
+	for _, s := range reg.Stats() {
+		if s.Key == held.Key {
+			found = true
+			if s.Refs != 1 {
+				t.Fatalf("held entry has %d refs, want 1", s.Refs)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("entry with a live reference was evicted")
+	}
+	held.Release()
+}
+
+func TestBatcherPoolRoundTrips(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	inst, err := reg.Acquire(testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Release()
+
+	b1, err := inst.CheckoutBatcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := inst.CheckoutBatcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 == b2 {
+		t.Fatal("two concurrent checkouts returned the same batcher")
+	}
+	inst.ReturnBatcher(b1)
+	if got := reg.Stats()[0].Warm; got != 1 {
+		t.Fatalf("warm batchers = %d, want 1", got)
+	}
+	b3, err := inst.CheckoutBatcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3 != b1 {
+		t.Fatal("checkout did not reuse the parked batcher")
+	}
+	if b3.Len() != 0 {
+		t.Fatal("reused batcher was not reset")
+	}
+	inst.ReturnBatcher(b2)
+	inst.ReturnBatcher(b3)
+}

@@ -1,0 +1,361 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Server exposes campaign lifecycle over HTTP (see routes in Handler).
+// It is the state `repro serve` holds between requests: the instance
+// registry plus the open-campaign table.
+type Server struct {
+	reg     *Registry
+	ckptDir string
+
+	mu        sync.Mutex
+	campaigns map[string]*Campaign
+	nextID    int
+	draining  bool
+}
+
+// NewServer builds a server around an instance registry. ckptDir, when
+// non-empty, is where campaign checkpoints land — explicit checkpoint
+// requests and the Drain sweep both write there.
+func NewServer(reg *Registry, ckptDir string) *Server {
+	return &Server{reg: reg, ckptDir: ckptDir, campaigns: make(map[string]*Campaign)}
+}
+
+// Registry returns the server's instance registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// Handler returns the route table. Method+wildcard patterns need the
+// Go 1.22 ServeMux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/instances", s.handleInstances)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCreate)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("POST /v1/campaigns/restore", s.handleRestore)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /v1/campaigns/{id}/next", s.handleNext)
+	mux.HandleFunc("POST /v1/campaigns/{id}/observe", s.handleObserve)
+	mux.HandleFunc("POST /v1/campaigns/{id}/step", s.handleStep)
+	mux.HandleFunc("POST /v1/campaigns/{id}/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	n := len(s.campaigns)
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "campaigns": n, "draining": draining})
+}
+
+func (s *Server) handleInstances(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Stats())
+}
+
+// createRequest is the POST /v1/campaigns body. Omitted fields fall back
+// to the server spec's first grid value (the same defaults `repro run`
+// applies), simulate defaults to true, and scale to the spec's.
+type createRequest struct {
+	Dataset  string   `json:"dataset"`
+	Model    string   `json:"model"`
+	Cost     string   `json:"cost"`
+	Scale    *float64 `json:"scale"`
+	Algo     string   `json:"algo"`
+	Seed     *uint64  `json:"seed"`
+	Simulate *bool    `json:"simulate"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	spec := s.reg.Spec()
+	if req.Dataset == "" {
+		req.Dataset = spec.Datasets[0]
+	}
+	if req.Model == "" {
+		req.Model = spec.Models[0]
+	}
+	if req.Cost == "" {
+		req.Cost = spec.CostSettings[0]
+	}
+	if req.Algo == "" {
+		req.Algo = spec.Algos[0]
+	}
+	key := Key{Dataset: req.Dataset, Model: req.Model, Cost: req.Cost, Scale: spec.Scale}
+	if req.Scale != nil {
+		key.Scale = *req.Scale
+	}
+	seed := spec.Seed + 100 // repro run realization-0 parity by default
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	simulate := true
+	if req.Simulate != nil {
+		simulate = *req.Simulate
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("service: server is draining"))
+		return
+	}
+	s.nextID++
+	id := "c" + strconv.Itoa(s.nextID)
+	s.mu.Unlock()
+
+	c, err := s.reg.StartCampaign(id, key, req.Algo, seed, simulate)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	s.campaigns[id] = c
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, c.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]Status, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		out = append(out, c.Status())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) *Campaign {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("service: no campaign %q", id))
+	}
+	return c
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if c := s.campaign(w, r); c != nil {
+		writeJSON(w, http.StatusOK, c.Status())
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if c := s.campaign(w, r); c != nil {
+		writeJSON(w, http.StatusOK, c.Result())
+	}
+}
+
+type nextResponse struct {
+	Seed *graph.NodeID `json:"seed"` // null when the campaign stopped
+	Stop bool          `json:"stop"`
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	if c.Simulate {
+		writeErr(w, http.StatusConflict, fmt.Errorf("service: campaign %s is simulated; use step", c.ID))
+		return
+	}
+	u, stop, err := c.Next()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := nextResponse{Stop: stop}
+	if !stop {
+		resp.Seed = &u
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	if c.Simulate {
+		writeErr(w, http.StatusConflict, fmt.Errorf("service: campaign %s is simulated; use step", c.ID))
+		return
+	}
+	var body struct {
+		Activated []graph.NodeID `json:"activated"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	if err := c.Observe(body.Activated); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+type stepResponse struct {
+	Seed      *graph.NodeID  `json:"seed"` // null when the campaign stopped
+	Stop      bool           `json:"stop"`
+	Activated []graph.NodeID `json:"activated,omitempty"`
+	Rounds    int            `json:"rounds"`
+	Spread    int            `json:"spread"`
+}
+
+func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	u, stop, activated, err := c.Step()
+	if err != nil {
+		if c.Simulate {
+			writeErr(w, http.StatusInternalServerError, err)
+		} else {
+			writeErr(w, http.StatusConflict, err)
+		}
+		return
+	}
+	st := c.Status()
+	resp := stepResponse{Stop: stop, Activated: activated, Rounds: st.Rounds, Spread: st.Spread}
+	if !stop {
+		resp.Seed = &u
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	if s.ckptDir == "" {
+		writeErr(w, http.StatusConflict, fmt.Errorf("service: server started without --checkpoint-dir"))
+		return
+	}
+	file, err := c.Checkpoint(s.ckptDir)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"file": file})
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		File string `json:"file"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.File == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: restore needs {\"file\": ...}"))
+		return
+	}
+	file := body.File
+	if !filepath.IsAbs(file) && s.ckptDir != "" {
+		file = filepath.Join(s.ckptDir, file)
+	}
+	c, err := s.reg.RestoreCampaign(file)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		c.Close()
+		writeErr(w, http.StatusServiceUnavailable, fmt.Errorf("service: server is draining"))
+		return
+	}
+	if _, exists := s.campaigns[c.ID]; exists {
+		s.mu.Unlock()
+		c.Close()
+		writeErr(w, http.StatusConflict, fmt.Errorf("service: campaign %s is already open", c.ID))
+		return
+	}
+	s.campaigns[c.ID] = c
+	// Keep fresh IDs ahead of restored ones ("c<n>" pattern only).
+	if len(c.ID) > 1 && c.ID[0] == 'c' {
+		if n, err := strconv.Atoi(c.ID[1:]); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, c.Status())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	delete(s.campaigns, id)
+	s.mu.Unlock()
+	if c == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("service: no campaign %q", id))
+		return
+	}
+	c.Close()
+	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+}
+
+// Drain checkpoints every open campaign (when a checkpoint directory is
+// configured) and closes them all, refusing new work from that point on.
+// `repro serve` calls it on SIGTERM so an in-flight campaign survives a
+// restart: the client restores from the drain checkpoint and continues
+// bit-identically. Returns the checkpointed files and the first error.
+func (s *Server) Drain() ([]string, error) {
+	s.mu.Lock()
+	s.draining = true
+	open := make([]*Campaign, 0, len(s.campaigns))
+	for _, c := range s.campaigns {
+		open = append(open, c)
+	}
+	s.campaigns = make(map[string]*Campaign)
+	s.mu.Unlock()
+	sort.Slice(open, func(a, b int) bool { return open[a].ID < open[b].ID })
+
+	var files []string
+	var firstErr error
+	for _, c := range open {
+		if s.ckptDir != "" {
+			if file, err := c.Checkpoint(s.ckptDir); err == nil {
+				files = append(files, file)
+			} else if firstErr == nil {
+				firstErr = fmt.Errorf("service: drain checkpoint of %s: %w", c.ID, err)
+			}
+		}
+		c.Close()
+	}
+	return files, firstErr
+}

@@ -63,6 +63,11 @@ type Row struct {
 	Seed    uint64 `json:"seed"`
 	SetupMS int64  `json:"setup_ms"` // dataset gen + IMM + cost calibration (shared across a group)
 	WallMS  int64  `json:"wall_ms"`  // algorithm execution only
+
+	// Seeds holds each realization's seeded nodes in seeding order, only
+	// when Spec.EmitSeeds asked for them (omitted from golden BENCH/SWEEP
+	// output otherwise).
+	Seeds [][]graph.NodeID `json:"seeds,omitempty"`
 }
 
 // stripVolatile zeroes the machine- and schedule-dependent timing fields,
@@ -154,6 +159,13 @@ func Execute(spec *Spec, p *Prepared, cell Cell, interrupt func() error) (*Row, 
 	if err != nil {
 		return nil, err
 	}
+	var seeds [][]graph.NodeID
+	if spec.EmitSeeds {
+		seeds = make([][]graph.NodeID, len(rep.Runs))
+		for i, run := range rep.Runs {
+			seeds[i] = run.Seeds
+		}
+	}
 	return &Row{
 		Algo:              cell.Algo,
 		Dataset:           p.DS.Name,
@@ -190,6 +202,7 @@ func Execute(spec *Spec, p *Prepared, cell Cell, interrupt func() error) (*Row, 
 		Seed:              spec.Seed,
 		SetupMS:           p.SetupMS,
 		WallMS:            time.Since(start).Milliseconds(),
+		Seeds:             seeds,
 	}, nil
 }
 

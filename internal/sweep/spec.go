@@ -46,11 +46,18 @@ type Spec struct {
 	Parallel int `json:"parallel,omitempty"`
 
 	// CellBudgetMS is the per-cell wall-clock budget in milliseconds;
-	// 0 means unbounded. The budget is checked between realizations (the
-	// finest interruption point the algorithms expose), so a cell overruns
-	// by at most one realization; a cell that trips it is journaled as
-	// failed and retried on resume.
+	// 0 means unbounded. The budget is polled between realizations, before
+	// every session round, and inside the RR draw loops every interrupt
+	// stride (ris.SamplerPool.SetInterrupt), so a cell overruns by at most
+	// a stride of RR draws even mid-batch; a cell that trips it is
+	// journaled as failed and retried on resume.
 	CellBudgetMS int64 `json:"cell_budget_ms,omitempty"`
+
+	// EmitSeeds includes each realization's seeded nodes (in seeding
+	// order) in the emitted rows. Off by default: seed lists are bulky and
+	// the BENCH/SWEEP goldens don't carry them; `repro run --show-seeds`
+	// and the serve smoke test's seed-equivalence diff turn it on.
+	EmitSeeds bool `json:"emit_seeds,omitempty"`
 }
 
 // AllDatasets, AllModels, AllCostSettings name the full grid axes.
