@@ -8,7 +8,7 @@
 //	repro gen    --dataset nethept-s [--scale 0.1] [--out g.txt]
 //	repro run    --algo addatp --dataset nethept-s --model ic --cost degree-proportional
 //	repro bench  [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
-//	repro sweep  [--datasets all] [--models all] [--journal SWEEP_x.jsonl] [--resume] [--parallel 4]
+//	repro sweep  [--datasets all] [--models all] [--churns none,1@2] [--journal SWEEP_x.jsonl] [--resume] [--parallel 4]
 //	repro serve  [--addr 127.0.0.1:8077] [--checkpoint-dir ckpts] [--max-instances 8]
 //	repro report [--out EXPERIMENTS.md] [BENCH_*.json | SWEEP_*.jsonl ...]
 package main
@@ -60,7 +60,7 @@ subcommands:
   gen     materialize a Table II stand-in dataset (stats to stdout, graph to --out)
   run     execute one algorithm on one dataset/model/cost configuration
   bench   run a single-model grid of algorithms x datasets x costs into a BENCH_*.json
-  sweep   run a resumable datasets x models x costs x algorithms grid with a JSONL journal
+  sweep   run a resumable datasets x models x costs x algorithms x churns grid with a JSONL journal
   serve   run the campaign daemon: step-wise adaptive sessions over HTTP with checkpoint/restore
   report  render BENCH_*.json / SWEEP_*.jsonl files into EXPERIMENTS.md (Table II layout)
 

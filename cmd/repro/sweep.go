@@ -24,6 +24,7 @@ func cmdSweep(args []string) error {
 	models := fs.String("models", "all", "comma-separated diffusion models (or 'all')")
 	costs := fs.String("costs", "all", "comma-separated cost settings (or 'all')")
 	algos := fs.String("algos", "all", "comma-separated algorithms (or 'all')")
+	churns := fs.String("churns", "none", "comma-separated churn schedules: 'none' and/or 'p@k' (p% edge churn every k rounds)")
 	journalPath := fs.String("journal", "SWEEP_results.jsonl", "append-only JSONL journal, fsynced after every cell")
 	resume := fs.Bool("resume", false, "continue --journal: reuse its spec (flags are ignored) and skip completed cells")
 	parallel := fs.Int("parallel", 1, "cells run concurrently (worker-pool width)")
@@ -68,6 +69,7 @@ func cmdSweep(args []string) error {
 			flagSpec.Models = splitList(*models, sweep.AllModels)
 			flagSpec.CostSettings = splitList(*costs, sweep.AllCostSettings)
 			flagSpec.Algos = splitList(*algos, adaptive.Algorithms)
+			flagSpec.Churns = splitList(*churns, []string{sweep.ChurnNone})
 			flagSpec.Parallel = *parallel
 			flagSpec.CellBudgetMS = *budget
 			spec = &flagSpec

@@ -34,9 +34,16 @@ import (
 // fingerprint (graph shape, model, targets, costs) guards against
 // restoring onto the wrong instance. Unknown versions and torn payloads
 // fail loudly.
+// Version 2 added the topology-delta log: the fingerprint field names the
+// *base* instance (the one the session was created on) and the log of
+// Mutate calls rides in the blob, so ResumeSession reconstructs the
+// current graph by replaying the deltas through graph.ApplyDelta — the
+// replayed graph is per-node structurally identical to the original
+// mutated one, so sampling stays bit-identical. Version 1 blobs (no log)
+// are rejected; no committed artifacts exist in that format.
 const (
 	ckptMagic   = uint64(0x4154505345535331) // "ATPSESS1"
-	ckptVersion = uint32(1)
+	ckptVersion = uint32(2)
 )
 
 // Stepper payload tags (one per algorithm family).
@@ -215,6 +222,52 @@ func (r *ckptReader) i32s() []int32 {
 	return out
 }
 
+func (w *ckptWriter) edges(es []graph.Edge) {
+	w.u64(uint64(len(es)))
+	for _, e := range es {
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(e.From))
+		w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(e.To))
+		w.f64(e.P)
+	}
+}
+
+func (r *ckptReader) edges() []graph.Edge {
+	n := r.length()
+	b := r.take(16 * n)
+	if b == nil {
+		return nil
+	}
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = graph.Edge{
+			From: graph.NodeID(binary.LittleEndian.Uint32(b[16*i:])),
+			To:   graph.NodeID(binary.LittleEndian.Uint32(b[16*i+4:])),
+			P:    math.Float64frombits(binary.LittleEndian.Uint64(b[16*i+8:])),
+		}
+	}
+	return out
+}
+
+func (w *ckptWriter) deltaLog(deltas []sessionDelta) {
+	w.u64(uint64(len(deltas)))
+	for _, d := range deltas {
+		w.edges(d.inserts)
+		w.edges(d.deletes)
+	}
+}
+
+func (r *ckptReader) deltaLog() []sessionDelta {
+	n := r.length()
+	if r.err != nil {
+		return nil
+	}
+	out := make([]sessionDelta, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, sessionDelta{inserts: r.edges(), deletes: r.edges()})
+	}
+	return out
+}
+
 func (w *ckptWriter) collection(st ris.CollectionState) {
 	w.nodes(st.Arena)
 	w.i32s(st.Offsets)
@@ -272,7 +325,10 @@ func (s *Session) Checkpoint() ([]byte, error) {
 	w := &ckptWriter{buf: make([]byte, 0, 1024)}
 	w.u64(ckptMagic)
 	w.buf = binary.LittleEndian.AppendUint32(w.buf, ckptVersion)
-	w.u64(instFingerprint(s.inst))
+	// The fingerprint names the base instance; the delta log carries the
+	// session to its current topology on resume.
+	w.u64(s.baseFP)
+	w.deltaLog(s.deltas)
 	w.str(s.algo)
 
 	// Options (authoritative on resume; see package comment above).
@@ -401,8 +457,24 @@ func ResumeSession(inst *Instance, data []byte, ropts ResumeOptions) (*Session, 
 	if v := binary.LittleEndian.Uint32(verB); v != ckptVersion {
 		return nil, fmt.Errorf("adaptive: checkpoint: version %d not supported (this build reads %d)", v, ckptVersion)
 	}
-	if fp := r.u64(); r.err == nil && fp != instFingerprint(inst) {
-		return nil, fmt.Errorf("adaptive: checkpoint: instance fingerprint mismatch (checkpoint %#x, instance %#x) — wrong dataset, model, scale, or cost setting", fp, instFingerprint(inst))
+	baseFP := r.u64()
+	if r.err == nil && baseFP != instFingerprint(inst) {
+		return nil, fmt.Errorf("adaptive: checkpoint: instance fingerprint mismatch (checkpoint %#x, instance %#x) — wrong dataset, model, scale, or cost setting", baseFP, instFingerprint(inst))
+	}
+	deltas := r.deltaLog()
+	if r.err != nil {
+		return nil, r.err
+	}
+	// Replay the mutation log onto the base instance: the replayed graph is
+	// per-node structurally identical to the one the checkpointed session
+	// held, so the restored RR state and RNG stream line up exactly.
+	base := inst
+	for i, d := range deltas {
+		ng, _, err := inst.G.ApplyDelta(d.inserts, d.deletes)
+		if err != nil {
+			return nil, fmt.Errorf("adaptive: checkpoint: replaying topology delta %d/%d: %w", i+1, len(deltas), err)
+		}
+		inst = &Instance{G: ng, Model: base.Model, Targets: base.Targets, Costs: base.Costs}
 	}
 	algo := r.str()
 
@@ -564,6 +636,8 @@ func ResumeSession(inst *Instance, data []byte, ropts ResumeOptions) (*Session, 
 		algoRNG.SetState(rngState, rngInc)
 	}
 	s := newShell(inst, algo, opts, algoRNG, step)
+	s.baseFP = baseFP // newShell fingerprinted the replayed instance
+	s.deltas = deltas
 	if err := s.res.RestoreAlive(alive, resVersion); err != nil {
 		return nil, err
 	}

@@ -93,6 +93,52 @@ type Report struct {
 	Runs           []*RunResult
 }
 
+// Add folds one realization's result into the report: the run is
+// appended, the sum-typed aggregates accumulate, and the extrema update.
+// Call Finalize once after the last Add to turn the sums into averages.
+func (rep *Report) Add(run *RunResult) {
+	first := len(rep.Runs) == 0
+	rep.Runs = append(rep.Runs, run)
+	rep.AvgProfit += run.Profit
+	rep.AvgSpread += float64(run.Spread)
+	rep.AvgCost += run.Cost
+	rep.AvgRounds += float64(run.Rounds)
+	rep.RRDrawn += run.RRDrawn
+	rep.RRRequested += run.RRRequested
+	rep.RRReused += run.RRReused
+	rep.SamplingNS += run.SamplingNS
+	if run.RRPeakBytes > rep.RRPeakBytes {
+		rep.RRPeakBytes = run.RRPeakBytes
+	}
+	rep.Fallbacks += run.Fallbacks
+	rep.Attempts += run.Attempts
+	rep.RRBatches += run.RRBatches
+	rep.CertifiedEarly += run.CertifiedEarly
+	if run.Sampler != "" {
+		rep.Sampler = run.Sampler
+	}
+	if first || run.Profit < rep.MinProfit {
+		rep.MinProfit = run.Profit
+	}
+	if first || run.Profit > rep.MaxProfit {
+		rep.MaxProfit = run.Profit
+	}
+}
+
+// Finalize divides the accumulated sums by the number of added runs,
+// turning the Avg* fields into averages. Idempotence is not provided —
+// call it exactly once, after the last Add.
+func (rep *Report) Finalize() {
+	f := float64(len(rep.Runs))
+	if f == 0 {
+		return
+	}
+	rep.AvgProfit /= f
+	rep.AvgSpread /= f
+	rep.AvgCost /= f
+	rep.AvgRounds /= f
+}
+
 // RunExperiment samples `realizations` possible worlds from the instance
 // graph (deterministically from seed) and runs the algorithm on each.
 func RunExperiment(inst *Instance, algo string, realizations int, opts RunOptions, seed uint64) (*Report, error) {
@@ -114,36 +160,8 @@ func RunExperiment(inst *Instance, algo string, realizations int, opts RunOption
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: realization %d: %w", i, err)
 		}
-		rep.Runs = append(rep.Runs, run)
-		rep.AvgProfit += run.Profit
-		rep.AvgSpread += float64(run.Spread)
-		rep.AvgCost += run.Cost
-		rep.AvgRounds += float64(run.Rounds)
-		rep.RRDrawn += run.RRDrawn
-		rep.RRRequested += run.RRRequested
-		rep.RRReused += run.RRReused
-		rep.SamplingNS += run.SamplingNS
-		if run.RRPeakBytes > rep.RRPeakBytes {
-			rep.RRPeakBytes = run.RRPeakBytes
-		}
-		rep.Fallbacks += run.Fallbacks
-		rep.Attempts += run.Attempts
-		rep.RRBatches += run.RRBatches
-		rep.CertifiedEarly += run.CertifiedEarly
-		if run.Sampler != "" {
-			rep.Sampler = run.Sampler
-		}
-		if i == 0 || run.Profit < rep.MinProfit {
-			rep.MinProfit = run.Profit
-		}
-		if i == 0 || run.Profit > rep.MaxProfit {
-			rep.MaxProfit = run.Profit
-		}
+		rep.Add(run)
 	}
-	f := float64(realizations)
-	rep.AvgProfit /= f
-	rep.AvgSpread /= f
-	rep.AvgCost /= f
-	rep.AvgRounds /= f
+	rep.Finalize()
 	return rep, nil
 }

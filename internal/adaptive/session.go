@@ -62,7 +62,22 @@ type Session struct {
 	interrupt func() error
 	step      stepper
 
+	// baseFP fingerprints the instance the session was *created* on;
+	// deltas is the log of topology mutations applied since (in order).
+	// Checkpoints carry both, so a resume needs only the base instance:
+	// the current graph is reproduced by replaying the log through
+	// graph.ApplyDelta, which is structurally identical to the original
+	// mutated graph per node and therefore samples bit-identically.
+	baseFP uint64
+	deltas []sessionDelta
+
 	alive []graph.NodeID // aliveTargets scratch
+}
+
+// sessionDelta is one committed topology mutation, kept for checkpoint
+// replay.
+type sessionDelta struct {
+	inserts, deletes []graph.Edge
 }
 
 // stepper is one algorithm's per-round decision procedure. next computes
@@ -74,6 +89,13 @@ type stepper interface {
 	next(s *Session) (graph.NodeID, bool, error)
 	finishInto(r *RunResult)
 	setInterrupt(f func() error)
+	// mutate adapts the stepper's cached sampling state to a topology
+	// delta: inst is the post-delta instance and touched the nodes whose
+	// RR membership invalidates a set (graph.DeltaResult.Touched). Called
+	// between rounds only (no pending seed), and must consume no
+	// randomness — the session RNG stream stays aligned with the
+	// delta-free prefix of the campaign.
+	mutate(inst *Instance, touched []graph.NodeID) error
 }
 
 // NewSession validates the instance and builds a stepping campaign for
@@ -117,11 +139,12 @@ func NewSession(inst *Instance, algo string, opts RunOptions, r *rng.RNG) (*Sess
 // NewSession, the batch wrappers, and the checkpoint-resume path).
 func newShell(inst *Instance, algo string, opts RunOptions, r *rng.RNG, step stepper) *Session {
 	return &Session{
-		inst: inst,
-		algo: algo,
-		opts: opts,
-		r:    r,
-		res:  graph.NewResidual(inst.G),
+		inst:   inst,
+		algo:   algo,
+		opts:   opts,
+		r:      r,
+		res:    graph.NewResidual(inst.G),
+		baseFP: instFingerprint(inst),
 		// Preallocated to the only possible maximum so steady-state
 		// stepping never grows it (the warm-instance zero-alloc contract).
 		seeds: make([]graph.NodeID, 0, len(inst.Targets)),
@@ -222,6 +245,52 @@ func (s *Session) Observe(activated []graph.NodeID) error {
 	return nil
 }
 
+// Mutate applies a topology delta to the live campaign between rounds:
+// the graph gains inserts and loses deletes (graph.ApplyDelta), the
+// residual view is re-homed onto the new graph with its alive-list order
+// — and therefore every subsequent uniform root draw — preserved, and the
+// stepper invalidates exactly the cached RR sets that touch a changed
+// edge's target, keeping the rest. The delta is appended to the session's
+// replay log, so checkpoints taken after a mutation restore onto the base
+// instance and replay to the current graph.
+//
+// Only quiescent sessions mutate: a pending seed must be Observed first
+// (the proposal was computed on the old topology), and finished or voided
+// campaigns refuse. Mutate consumes no randomness. The exact-enumeration
+// ADG oracle is rebuilt on the new graph and fails if the delta pushed it
+// past oracle.MaxExactEdges; nonadaptive steppers keep their upfront
+// selection, exactly their seeds-chosen-in-advance semantics.
+func (s *Session) Mutate(inserts, deletes []graph.Edge) (*graph.DeltaResult, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.done {
+		return nil, fmt.Errorf("adaptive: Mutate on a finished campaign")
+	}
+	if s.havePending {
+		return nil, fmt.Errorf("adaptive: Mutate with a pending seed (Observe it first)")
+	}
+	newG, dres, err := s.inst.G.ApplyDelta(inserts, deletes)
+	if err != nil {
+		return nil, err
+	}
+	newInst := &Instance{G: newG, Model: s.inst.Model, Targets: s.inst.Targets, Costs: s.inst.Costs}
+	res := graph.NewResidual(newG)
+	if err := res.RestoreAlive(s.res.AliveList(), s.res.Version()); err != nil {
+		return nil, err
+	}
+	if err := s.step.mutate(newInst, dres.Touched); err != nil {
+		return nil, err
+	}
+	s.inst = newInst
+	s.res = res
+	s.deltas = append(s.deltas, sessionDelta{
+		inserts: append([]graph.Edge(nil), inserts...),
+		deletes: append([]graph.Edge(nil), deletes...),
+	})
+	return dres, nil
+}
+
 // Drive runs the session to completion against an environment — the batch
 // entry points' loop, shared with tests and the simulated service mode.
 func (s *Session) Drive(env *Environment) (*RunResult, error) {
@@ -255,6 +324,15 @@ func (s *Session) Done() bool   { return s.done }
 func (s *Session) Err() error   { return s.err }
 func (s *Session) Rounds() int  { return len(s.seeds) }
 func (s *Session) Spread() int  { return s.spread }
+
+// Instance returns the session's current instance — the post-delta one
+// after Mutate calls. Drivers re-homing environments or adopting
+// per-epoch warm state read the live graph through it.
+func (s *Session) Instance() *Instance { return s.inst }
+
+// Mutations returns the number of topology deltas applied so far (the
+// current graph's epoch relative to the base instance).
+func (s *Session) Mutations() int { return len(s.deltas) }
 
 // Seeds returns a copy of the seeds committed so far, in seeding order.
 func (s *Session) Seeds() []graph.NodeID {
@@ -340,6 +418,14 @@ func newSeqStepper(inst *Instance, reg regime, opts SamplingOptions, warm *ris.B
 }
 
 func (st *seqStepper) setInterrupt(f func() error) { st.b.SetInterrupt(f) }
+
+func (st *seqStepper) mutate(_ *Instance, touched []graph.NodeID) error {
+	// Survivors are valid RR sets of the new graph at the unchanged
+	// residual version, so the next round's Sync keeps them and GrowTo
+	// draws only the shortfall.
+	st.b.Invalidate(touched)
+	return nil
+}
 
 func (st *seqStepper) next(s *Session) (graph.NodeID, bool, error) {
 	res := s.res
@@ -470,6 +556,16 @@ func newFixedStepper(inst *Instance, reg regime, opts SamplingOptions) (*fixedSt
 }
 
 func (st *fixedStepper) setInterrupt(f func() error) { st.pool.SetInterrupt(f) }
+
+func (st *fixedStepper) mutate(_ *Instance, touched []graph.NodeID) error {
+	// Under NoReuse the next attempt resets the collection anyway; with
+	// reuse, drop exactly the sets touching the delta and count the
+	// survivors as carried over, mirroring the filter/top-up accounting.
+	if !st.opts.NoReuse && st.col != nil {
+		st.reused += int64(st.col.InvalidateTouching(touched))
+	}
+	return nil
+}
 
 func (st *fixedStepper) next(s *Session) (graph.NodeID, bool, error) {
 	res := s.res
@@ -619,6 +715,33 @@ func (st *adgStepper) setInterrupt(f func() error) {
 	}
 }
 
+func (st *adgStepper) mutate(inst *Instance, touched []graph.NodeID) error {
+	switch orc := st.orc.(type) {
+	case *oracle.Exact:
+		// Exact enumeration is captured against one graph; rebuild on the
+		// new one (stateless, no randomness). A delta can push the edge
+		// count past the enumeration bound — surface that, don't seed on
+		// stale worlds.
+		nw, err := oracle.NewExact(inst.G)
+		if err != nil {
+			return err
+		}
+		st.orc = nw
+	case *oracle.ExactLT:
+		nw, err := oracle.NewExactLT(inst.G)
+		if err != nil {
+			return err
+		}
+		st.orc = nw
+	case *oracle.RIS:
+		orc.InvalidateTopology(touched)
+	default:
+		return fmt.Errorf("adaptive: mutate under oracle %T", st.orc)
+	}
+	st.bo, st.batched = st.orc.(batchOracle)
+	return nil
+}
+
 func (st *adgStepper) next(s *Session) (graph.NodeID, bool, error) {
 	res := s.res
 	s.alive = s.inst.aliveTargets(res, s.alive)
@@ -688,6 +811,11 @@ type nsgStepper struct {
 
 func (st *nsgStepper) setInterrupt(func() error) {}
 
+// Nonadaptive: seeds were chosen upfront on the pre-delta graph and are
+// dispensed regardless — the world changing underneath is exactly the
+// regime the nonadaptive baseline is measured in.
+func (st *nsgStepper) mutate(*Instance, []graph.NodeID) error { return nil }
+
 func (st *nsgStepper) next(s *Session) (graph.NodeID, bool, error) {
 	if !st.selected {
 		chosen, col, samplingNS, err := NonadaptiveGreedySelect(s.inst, st.theta, s.r, st.workers)
@@ -726,6 +854,8 @@ type allTargetsStepper struct {
 }
 
 func (st *allTargetsStepper) setInterrupt(func() error) {}
+
+func (st *allTargetsStepper) mutate(*Instance, []graph.NodeID) error { return nil }
 
 func (st *allTargetsStepper) next(s *Session) (graph.NodeID, bool, error) {
 	if st.idx >= len(s.inst.Targets) {

@@ -1,0 +1,76 @@
+package gen
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// ChurnDeltas draws a deterministic sliding-window edge delta for g: it
+// picks max(1, round(frac·M)) distinct existing directed edges to delete
+// and the same number of fresh directed edges to insert, so the edge count
+// is conserved while the topology drifts. Inserted edges adopt the
+// target's shared in-probability when the graph stores compressed
+// in-probabilities (keeping the fast delta path and the weighted-cascade
+// flavor), and fall back to 0.1 on per-edge graphs or into previously
+// in-degree-0 targets.
+//
+// The delta is a pure function of (g, frac, r's stream): temporal sweeps
+// and the service mutate endpoint replay it bit-identically from a seed.
+// The returned slices are valid arguments for graph.ApplyDelta on g.
+func ChurnDeltas(g *graph.Graph, frac float64, r *rng.RNG) (inserts, deletes []graph.Edge) {
+	n, m := g.N(), g.M()
+	if n < 2 {
+		return nil, nil
+	}
+	k := int(frac*float64(m) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if int64(k) > m {
+		k = int(m)
+	}
+
+	// Deletes: distinct random arena positions, mapped to (source, target)
+	// by binary search over the out-CSR index. Distinct pairs only, so the
+	// delta stays unambiguous even on graphs with parallel edges.
+	chosen := make(map[[2]graph.NodeID]bool, 2*k)
+	outIdx := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		outIdx[v+1] = outIdx[v] + int64(g.OutDegree(graph.NodeID(v)))
+	}
+	for tries := 0; len(deletes) < k && tries < 100*k+100; tries++ {
+		idx := int64(r.Intn(int(m)))
+		v := sort.Search(n, func(i int) bool { return outIdx[i+1] > idx }) // node owning arena slot idx
+		adj, _ := g.OutNeighbors(graph.NodeID(v))
+		to := adj[idx-outIdx[v]]
+		pair := [2]graph.NodeID{graph.NodeID(v), to}
+		if chosen[pair] {
+			continue
+		}
+		chosen[pair] = true
+		deletes = append(deletes, graph.Edge{From: graph.NodeID(v), To: to})
+	}
+
+	// Inserts: fresh pairs — absent from g and from this delta.
+	want := len(deletes)
+	for tries := 0; len(inserts) < want && tries < 100*want+100; tries++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		pair := [2]graph.NodeID{u, v}
+		if u == v || chosen[pair] {
+			continue
+		}
+		if _, exists := g.EdgeProbability(u, v); exists {
+			continue
+		}
+		p := 0.1
+		if _, q, ok := g.InNeighborsUniform(v); ok && q > 0 {
+			p = q
+		}
+		chosen[pair] = true
+		inserts = append(inserts, graph.Edge{From: u, To: v, P: p})
+	}
+	return inserts, deletes
+}

@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// These benchmarks pit the two ways of realizing a topology delta
+// against each other on nethept-s at full scale with a 1% edge churn:
+// graph.ApplyDelta patches the CSR and compressed in-probability tables
+// per touched node, while the rebuild path reconstructs the whole graph
+// from the edited edge list. The delta path is the reason temporal
+// sweeps and the mutate endpoint are cheap; run with
+//
+//	go test -bench 'Delta' -run xxx ./internal/gen/
+//
+// to compare.
+func churnFixture(b *testing.B) (*graph.Graph, []graph.Edge, []graph.Edge) {
+	b.Helper()
+	ds, err := Lookup("nethept-s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := Generate(ds.Config(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inserts, deletes := ChurnDeltas(g, 0.01, rng.New(42))
+	if len(deletes) == 0 || len(inserts) == 0 {
+		b.Fatalf("degenerate churn: %d inserts, %d deletes", len(inserts), len(deletes))
+	}
+	return g, inserts, deletes
+}
+
+func BenchmarkApplyDelta(b *testing.B) {
+	g, inserts, deletes := churnFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.ApplyDelta(inserts, deletes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRebuildAfterDelta(b *testing.B) {
+	g, inserts, deletes := churnFixture(b)
+	// The edited edge list is the rebuild's input, not part of its cost:
+	// a real ingest pipeline would have it on hand.
+	gone := make(map[[2]graph.NodeID]bool, len(deletes))
+	for _, e := range deletes {
+		gone[[2]graph.NodeID{e.From, e.To}] = true
+	}
+	base := g.Edges()
+	edited := make([]graph.Edge, 0, len(base)+len(inserts))
+	for _, e := range base {
+		if !gone[[2]graph.NodeID{e.From, e.To}] {
+			edited = append(edited, e)
+		}
+	}
+	edited = append(edited, inserts...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nb := graph.NewBuilder(g.N(), true)
+		for _, e := range edited {
+			if err := nb.AddEdge(e.From, e.To, e.P); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if got := nb.Build(); got.M() != g.M() {
+			b.Fatalf("rebuilt m=%d, want %d", got.M(), g.M())
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DeltaResult summarizes one applied edge delta.
+type DeltaResult struct {
+	// Touched lists — sorted, deduplicated — the target endpoints of every
+	// inserted or deleted edge. These are exactly the nodes whose presence
+	// in a reverse-reachable set makes that set stale: reverse sampling
+	// examines edge (u,v) iff it visits v, so an RR set that avoids every
+	// touched node has the same distribution on the old and new topology.
+	Touched []NodeID
+	// Inserted and Deleted count the directed edges added and removed.
+	Inserted int
+	Deleted  int
+}
+
+// ApplyDelta derives a new immutable Graph from g with the given directed
+// edges inserted and deleted, without rebuilding from scratch: untouched
+// CSR runs are block-copied, only the runs of endpoint nodes are merged,
+// and the compressed in-probability tables are patched per touched node
+// (new (degree, probability) tables are appended to a copy of the table
+// arena; tables no node references anymore are kept as garbage, bounded by
+// the number of distinct pairs ever seen). The result is structurally
+// identical — per node — to Builder.Build on the edited edge list, so
+// same-seed RR draws on the delta graph and on a full rebuild are
+// bit-identical. g itself is never modified.
+//
+// Inserts are validated like Builder.AddEdge (endpoints in range, no
+// self-loops, probability in (0,1]; the negated comparison also rejects
+// NaN). Each delete must match an existing edge by (From, To) — its P is
+// ignored — and consumes one occurrence; deleting more copies than exist
+// is an error. Deletes apply to g only: an edge inserted and deleted in
+// the same batch is an error unless g already holds a matching edge.
+// Probabilities of surviving edges are untouched — callers emulating
+// weighted-cascade semantics must supply insert probabilities themselves.
+//
+// A delta that breaks a node's shared in-probability demotes the whole
+// graph to per-edge storage, and one that restores uniformity on a
+// per-edge graph re-compresses — in both cases matching what Build would
+// produce on the edited edge list.
+//
+// The returned graph's Epoch is g.Epoch()+1.
+func (g *Graph) ApplyDelta(inserts, deletes []Edge) (*Graph, *DeltaResult, error) {
+	for _, e := range inserts {
+		if e.From < 0 || e.From >= g.n || e.To < 0 || e.To >= g.n {
+			return nil, nil, fmt.Errorf("graph: insert (%d,%d) out of range [0,%d)", e.From, e.To, g.n)
+		}
+		if e.From == e.To {
+			return nil, nil, fmt.Errorf("graph: self-loop insert on node %d rejected", e.From)
+		}
+		if !(e.P > 0 && e.P <= 1) { // negated form also rejects NaN
+			return nil, nil, fmt.Errorf("graph: insert (%d,%d) probability %v outside (0,1]", e.From, e.To, e.P)
+		}
+	}
+	type pair struct{ u, v NodeID }
+	delCnt := make(map[pair]int, len(deletes))
+	for _, e := range deletes {
+		if e.From < 0 || e.From >= g.n || e.To < 0 || e.To >= g.n {
+			return nil, nil, fmt.Errorf("graph: delete (%d,%d) out of range [0,%d)", e.From, e.To, g.n)
+		}
+		delCnt[pair{e.From, e.To}]++
+	}
+	// Every delete must consume a distinct existing edge. Out-adjacency is
+	// sorted by target, so the multiplicity check binary-searches.
+	for k, cnt := range delCnt {
+		adj, _ := g.OutNeighbors(k.u)
+		lo := sort.Search(len(adj), func(i int) bool { return adj[i] >= k.v })
+		hi := lo
+		for hi < len(adj) && adj[hi] == k.v {
+			hi++
+		}
+		if hi-lo < cnt {
+			return nil, nil, fmt.Errorf("graph: delete (%d,%d) ×%d exceeds %d existing edge(s)", k.u, k.v, cnt, hi-lo)
+		}
+	}
+
+	insOut := make(map[NodeID][]Edge)
+	insIn := make(map[NodeID][]Edge)
+	for _, e := range inserts {
+		insOut[e.From] = append(insOut[e.From], e)
+		insIn[e.To] = append(insIn[e.To], e)
+	}
+	for _, list := range insOut {
+		sort.Slice(list, func(i, j int) bool { return list[i].To < list[j].To })
+	}
+	for _, list := range insIn {
+		sort.Slice(list, func(i, j int) bool { return list[i].From < list[j].From })
+	}
+	delOut := make(map[NodeID]int)
+	delIn := make(map[NodeID]int)
+	for k, c := range delCnt {
+		delOut[k.u] += c
+		delIn[k.v] += c
+	}
+	touchedOut := touchedNodes(insOut, delOut)
+	touchedIn := touchedNodes(insIn, delIn)
+
+	newM := g.m + int64(len(inserts)) - int64(len(deletes))
+
+	// New CSR offsets: the shift over untouched spans is piecewise constant,
+	// one prefix pass per direction.
+	newOutIdx := shiftedIndex(g.outIdx, g.n, touchedOut, func(v NodeID) int64 {
+		return int64(len(insOut[v])) - int64(delOut[v])
+	})
+	newInIdx := shiftedIndex(g.inIdx, g.n, touchedIn, func(v NodeID) int64 {
+		return int64(len(insIn[v])) - int64(delIn[v])
+	})
+	if newOutIdx[g.n] != newM || newInIdx[g.n] != newM {
+		panic("graph: delta degree accounting out of balance")
+	}
+
+	// Out-adjacency: block-copy untouched spans, merge touched runs.
+	newOutAdj := make([]NodeID, newM)
+	newOutP := make([]float64, newM)
+	{
+		dc := make(map[pair]int, len(delCnt))
+		for k, c := range delCnt {
+			dc[k] = c
+		}
+		prev := NodeID(0)
+		for _, u := range touchedOut {
+			lo, hi := g.outIdx[prev], g.outIdx[u]
+			copy(newOutAdj[newOutIdx[prev]:], g.outAdj[lo:hi])
+			copy(newOutP[newOutIdx[prev]:], g.outP[lo:hi])
+			base := g.outAdj[g.outIdx[u]:g.outIdx[u+1]]
+			basep := g.outP[g.outIdx[u]:g.outIdx[u+1]]
+			ins := insOut[u]
+			w := newOutIdx[u]
+			i, j := 0, 0
+			for i < len(base) || j < len(ins) {
+				if i < len(base) {
+					if c := dc[pair{u, base[i]}]; c > 0 {
+						dc[pair{u, base[i]}] = c - 1
+						i++
+						continue
+					}
+				}
+				if j >= len(ins) || (i < len(base) && base[i] <= ins[j].To) {
+					newOutAdj[w] = base[i]
+					newOutP[w] = basep[i]
+					i++
+				} else {
+					newOutAdj[w] = ins[j].To
+					newOutP[w] = ins[j].P
+					j++
+				}
+				w++
+			}
+			prev = u + 1
+		}
+		copy(newOutAdj[newOutIdx[prev]:], g.outAdj[g.outIdx[prev]:g.m])
+		copy(newOutP[newOutIdx[prev]:], g.outP[g.outIdx[prev]:g.m])
+	}
+
+	// Decide the in-probability path before filling in-adjacency: the fast
+	// path patches the compressed per-node storage; if any touched node ends
+	// up with mixed in-probabilities, or the base graph already stores
+	// per-edge probabilities, per-edge arrays are materialized and
+	// compression re-attempted exactly as Build would.
+	fast := g.uniformIn
+	var touchedProb map[NodeID]float64
+	if fast {
+		touchedProb = make(map[NodeID]float64, len(touchedIn))
+		for _, v := range touchedIn {
+			surv := g.inIdx[v+1] - g.inIdx[v] - int64(delIn[v])
+			var p float64
+			has := false
+			if surv > 0 {
+				p = g.inProb[v]
+				has = true
+			}
+			for _, e := range insIn[v] {
+				if !has {
+					p, has = e.P, true
+				} else if e.P != p {
+					fast = false
+				}
+			}
+			touchedProb[v] = p // zero when the node's new in-degree is 0
+		}
+	}
+
+	// In-adjacency: same block-copy + merge, with per-edge probabilities
+	// materialized only on the slow path.
+	newInAdj := make([]NodeID, newM)
+	var newInP []float64
+	if !fast {
+		newInP = make([]float64, newM)
+	}
+	{
+		dc := make(map[pair]int, len(delCnt))
+		for k, c := range delCnt {
+			dc[k] = c
+		}
+		prev := NodeID(0)
+		for _, v := range touchedIn {
+			g.copyInSpan(newInAdj, newInP, newInIdx, prev, v)
+			base := g.inAdj[g.inIdx[v]:g.inIdx[v+1]]
+			var basep []float64
+			if !g.uniformIn {
+				basep = g.inP[g.inIdx[v]:g.inIdx[v+1]]
+			}
+			ins := insIn[v]
+			w := newInIdx[v]
+			i, j := 0, 0
+			for i < len(base) || j < len(ins) {
+				if i < len(base) {
+					if c := dc[pair{base[i], v}]; c > 0 {
+						dc[pair{base[i], v}] = c - 1
+						i++
+						continue
+					}
+				}
+				if j >= len(ins) || (i < len(base) && base[i] <= ins[j].From) {
+					newInAdj[w] = base[i]
+					if newInP != nil {
+						if basep != nil {
+							newInP[w] = basep[i]
+						} else {
+							newInP[w] = g.inProb[v]
+						}
+					}
+					i++
+				} else {
+					newInAdj[w] = ins[j].From
+					if newInP != nil {
+						newInP[w] = ins[j].P
+					}
+					j++
+				}
+				w++
+			}
+			prev = v + 1
+		}
+		g.copyInSpan(newInAdj, newInP, newInIdx, prev, g.n)
+	}
+
+	ng := &Graph{
+		n: g.n, m: newM, directed: g.directed, epoch: g.epoch + 1,
+		outIdx: newOutIdx, outAdj: newOutAdj, outP: newOutP,
+		inIdx: newInIdx, inAdj: newInAdj,
+	}
+	if fast {
+		ng.patchCompressed(g, touchedIn, touchedProb)
+	} else {
+		ng.inP = newInP
+		ng.compressInProbs()
+	}
+
+	res := &DeltaResult{Inserted: len(inserts), Deleted: len(deletes)}
+	seen := make(map[NodeID]struct{}, len(inserts)+len(deletes))
+	for _, e := range inserts {
+		seen[e.To] = struct{}{}
+	}
+	for _, e := range deletes {
+		seen[e.To] = struct{}{}
+	}
+	res.Touched = make([]NodeID, 0, len(seen))
+	for v := range seen {
+		res.Touched = append(res.Touched, v)
+	}
+	sort.Slice(res.Touched, func(i, j int) bool { return res.Touched[i] < res.Touched[j] })
+	return ng, res, nil
+}
+
+// touchedNodes returns the sorted union of the two maps' keys.
+func touchedNodes(ins map[NodeID][]Edge, del map[NodeID]int) []NodeID {
+	seen := make(map[NodeID]struct{}, len(ins)+len(del))
+	for v := range ins {
+		seen[v] = struct{}{}
+	}
+	for v := range del {
+		seen[v] = struct{}{}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// shiftedIndex builds the post-delta CSR index from the base one: offsets
+// shift by the accumulated degree delta of the touched nodes before them.
+func shiftedIndex(base []int64, n int32, touched []NodeID, delta func(NodeID) int64) []int64 {
+	idx := make([]int64, n+1)
+	shift := int64(0)
+	ti := 0
+	for v := int32(0); v <= n; v++ {
+		idx[v] = base[v] + shift
+		if ti < len(touched) && v == touched[ti] {
+			shift += delta(touched[ti])
+			ti++
+		}
+	}
+	return idx
+}
+
+// copyInSpan block-copies the unchanged in-adjacency runs of nodes
+// [from, to) into the new arrays, materializing per-edge probabilities
+// from the compressed per-node storage when the slow path needs them.
+func (g *Graph) copyInSpan(adj []NodeID, ps []float64, newIdx []int64, from, to NodeID) {
+	lo, hi := g.inIdx[from], g.inIdx[to]
+	copy(adj[newIdx[from]:], g.inAdj[lo:hi])
+	if ps == nil {
+		return
+	}
+	if !g.uniformIn {
+		copy(ps[newIdx[from]:], g.inP[lo:hi])
+		return
+	}
+	for v := from; v < to; v++ {
+		run := ps[newIdx[v]:newIdx[v+1]]
+		p := g.inProb[v]
+		for i := range run {
+			run[i] = p
+		}
+	}
+}
+
+// patchCompressed carries the base graph's compressed in-probability
+// storage over to ng, recomputing only the touched nodes: their per-node
+// probability, their success-count table offset (reusing any base or
+// freshly appended table with the same (degree, probability) key), and the
+// packed sampler metadata — which is rebuilt wholesale because every
+// adjacency start after the first touched node shifts.
+func (ng *Graph) patchCompressed(g *Graph, touched []NodeID, touchedProb map[NodeID]float64) {
+	ng.inProb = make([]float64, ng.n)
+	copy(ng.inProb, g.inProb)
+	ng.inTabOff = make([]int32, ng.n)
+	copy(ng.inTabOff, g.inTabOff)
+	ng.inTabThr = make([]uint32, len(g.inTabThr))
+	copy(ng.inTabThr, g.inTabThr)
+	ng.uniformIn = true
+
+	type tabKey struct {
+		deg int64
+		p   float64
+	}
+	cache := make(map[tabKey]int32)
+	for v := int32(0); v < g.n; v++ {
+		if off := g.inTabOff[v]; off >= 0 {
+			k := tabKey{g.inIdx[v+1] - g.inIdx[v], g.inProb[v]}
+			if _, ok := cache[k]; !ok {
+				cache[k] = off
+			}
+		}
+	}
+	for _, v := range touched {
+		d := ng.inIdx[v+1] - ng.inIdx[v]
+		ng.inTabOff[v] = -1
+		if d == 0 {
+			ng.inProb[v] = 0
+			continue
+		}
+		p := touchedProb[v]
+		ng.inProb[v] = p
+		if p >= 1 {
+			continue // samplers special-case certain edges; no table needed
+		}
+		k := tabKey{d, p}
+		if off, ok := cache[k]; ok {
+			ng.inTabOff[v] = off
+			continue
+		}
+		off := int32(-1)
+		if thr := binomialThresholds(int(d), p); thr != nil {
+			off = int32(len(ng.inTabThr))
+			ng.inTabThr = append(ng.inTabThr, thr...)
+		}
+		cache[k] = off
+		ng.inTabOff[v] = off
+	}
+	if ng.m <= math.MaxInt32 {
+		ng.inMeta = make([]InMeta, ng.n)
+		for v := int32(0); v < ng.n; v++ {
+			m := InMeta{
+				Start:  int32(ng.inIdx[v]),
+				Deg:    int32(ng.inIdx[v+1] - ng.inIdx[v]),
+				TabOff: ng.inTabOff[v],
+			}
+			switch {
+			case m.TabOff >= 0:
+				m.Thr0 = ng.inTabThr[m.TabOff]
+			case m.Deg == 0:
+				m.Thr0 = ^uint32(0)
+			default:
+				m.Thr0 = 0
+			}
+			ng.inMeta[v] = m
+		}
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -86,6 +87,134 @@ func declaredNodes(input string) (int, bool) {
 		return 0, false // first record is not a header; Read will reject
 	}
 	return 0, false
+}
+
+// FuzzApplyDelta feeds hostile deltas — duplicate edges, deletes of absent
+// edges, NaN/Inf/out-of-range probabilities, self-loops, endpoints past n —
+// at a built graph. Contract: invalid deltas error (never panic) and leave
+// the base graph untouched; accepted deltas produce a graph that passes
+// Validate and is structurally identical to Builder.Build on the edited
+// edge list (the flatten ≡ rebuild differential, weakened to shape checks
+// only when the edit legitimately leaves parallel edges with distinct
+// probabilities, whose relative order Build does not specify).
+func FuzzApplyDelta(f *testing.F) {
+	f.Add(6, []byte{0, 1, 32, 1, 2, 64, 2, 3, 100}, []byte{3, 4, 100, 3, 4, 100}, []byte{0, 1, 0}, byte(0))
+	f.Add(5, []byte{0, 1, 40, 1, 2, 40}, []byte{}, []byte{3, 4, 0}, byte(1))   // absent delete
+	f.Add(5, []byte{0, 1, 40, 1, 2, 40}, []byte{2, 3, 255}, []byte{}, byte(1)) // NaN insert
+	f.Add(5, []byte{0, 1, 40, 1, 2, 40}, []byte{2, 2, 80}, []byte{}, byte(2))  // self-loop insert
+	f.Add(8, bytes.Repeat([]byte{1, 2, 77}, 6), []byte{0, 9, 80, 3, 4, 254}, []byte{1, 2, 0, 1, 2, 0}, byte(1))
+	f.Fuzz(func(t *testing.T, n int, base, ins, dels []byte, mode byte) {
+		if n < 0 || n > fuzzMaxNodes || len(base) > 3*2048 || len(ins) > 3*256 || len(dels) > 3*256 {
+			t.Skip()
+		}
+		b := NewBuilder(n, true)
+		for i := 0; i+2 < len(base); i += 3 {
+			// Errors are AddEdge's gates doing their job; FuzzBuilderBuild
+			// already pins them, so just drop rejected edges here.
+			_ = b.AddEdge(NodeID(int(base[i])-2), NodeID(int(base[i+1])-2), float64(base[i+2])/200)
+		}
+		b.Dedup() // keep the base parallel-free so delete matching is unambiguous
+		switch mode % 3 {
+		case 1:
+			b.ApplyWeightedCascade()
+		case 2:
+			if err := b.ApplyUniformProbability(0.3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := b.Build()
+		baseEdges := g.Edges()
+
+		inserts := decodeDeltaEdges(ins)
+		deletes := decodeDeltaEdges(dels)
+		ng, dres, err := g.ApplyDelta(inserts, deletes)
+
+		// The base graph must survive both outcomes bit-intact.
+		if verr := g.Validate(); verr != nil {
+			t.Fatalf("base graph corrupted by ApplyDelta: %v", verr)
+		}
+		if g.M() != int64(len(baseEdges)) || g.Epoch() != 0 {
+			t.Fatalf("base graph mutated: m=%d epoch=%d", g.M(), g.Epoch())
+		}
+		if err != nil {
+			return
+		}
+
+		if verr := ng.Validate(); verr != nil {
+			t.Fatalf("accepted delta fails validation: %v", verr)
+		}
+		if want := int64(len(baseEdges)) + int64(len(inserts)) - int64(len(deletes)); ng.M() != want {
+			t.Fatalf("delta graph has %d edges, want %d", ng.M(), want)
+		}
+		if ng.Epoch() != 1 || dres.Inserted != len(inserts) || dres.Deleted != len(deletes) {
+			t.Fatalf("delta bookkeeping: epoch=%d result=%+v", ng.Epoch(), dres)
+		}
+
+		// Oracle edit: each delete consumes the first matching (From, To)
+		// occurrence. ApplyDelta succeeded, so every delete must match.
+		edited := append([]Edge{}, baseEdges...)
+		for _, d := range deletes {
+			found := -1
+			for i, e := range edited {
+				if e.From == d.From && e.To == d.To {
+					found = i
+					break
+				}
+			}
+			if found < 0 {
+				t.Fatalf("ApplyDelta accepted delete (%d,%d) absent from the edge list", d.From, d.To)
+			}
+			edited = append(edited[:found], edited[found+1:]...)
+		}
+		edited = append(edited, inserts...)
+		want := MustFromEdges(n, true, edited)
+		if ambiguousParallelOrder(edited) {
+			// Build's sort order among equal-(From,To) distinct-P edges is
+			// unspecified; only shape-level equivalence is required.
+			if ng.N() != want.N() || ng.M() != want.M() {
+				t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", ng.N(), ng.M(), want.N(), want.M())
+			}
+			for v := NodeID(0); v < NodeID(n); v++ {
+				if ng.OutDegree(v) != want.OutDegree(v) || ng.InDegree(v) != want.InDegree(v) {
+					t.Fatalf("node %d: degrees (%d,%d) vs (%d,%d)", v,
+						ng.OutDegree(v), ng.InDegree(v), want.OutDegree(v), want.InDegree(v))
+				}
+			}
+			return
+		}
+		assertGraphsEquivalent(t, ng, want)
+	})
+}
+
+// decodeDeltaEdges maps raw bytes to hostile delta edges: endpoints range
+// past the node count (and below 0), probabilities cover 0, (0,1], >1, NaN
+// and +Inf.
+func decodeDeltaEdges(data []byte) []Edge {
+	var edges []Edge
+	for i := 0; i+2 < len(data); i += 3 {
+		p := float64(data[i+2]) / 200 // 0 .. 1.265
+		switch data[i+2] {
+		case 255:
+			p = math.NaN()
+		case 254:
+			p = math.Inf(1)
+		}
+		edges = append(edges, Edge{From: NodeID(int(data[i]) - 2), To: NodeID(int(data[i+1]) - 2), P: p})
+	}
+	return edges
+}
+
+// ambiguousParallelOrder reports whether the edge list holds two edges with
+// the same endpoints but different probabilities.
+func ambiguousParallelOrder(edges []Edge) bool {
+	probs := make(map[[2]NodeID]float64, len(edges))
+	for _, e := range edges {
+		if p, ok := probs[[2]NodeID{e.From, e.To}]; ok && p != e.P {
+			return true
+		}
+		probs[[2]NodeID{e.From, e.To}] = e.P
+	}
+	return false
 }
 
 func FuzzBuilderBuild(f *testing.F) {

@@ -80,6 +80,13 @@ type Graph struct {
 	inMeta []InMeta
 
 	directed bool
+
+	// epoch counts the topology deltas applied since the graph was built:
+	// Builder.Build produces epoch 0 and every ApplyDelta increments it.
+	// Consumers that cache per-topology state (the service instance
+	// registry, RR-set collections) key on it to avoid mixing artifacts
+	// across divergent topologies.
+	epoch int64
 }
 
 // InMeta is the packed per-node reverse-sampling metadata: node v's
@@ -106,6 +113,10 @@ func (g *Graph) N() int { return int(g.n) }
 // undirected edge list, each undirected edge contributes two directed edges
 // and M counts both.
 func (g *Graph) M() int64 { return g.m }
+
+// Epoch returns the number of topology deltas applied since the graph was
+// built from scratch (0 for Builder.Build output; see ApplyDelta).
+func (g *Graph) Epoch() int64 { return g.epoch }
 
 // Directed reports whether the graph was declared directed at build time.
 // This only affects dataset statistics (Table II reports the declared

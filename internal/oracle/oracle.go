@@ -273,6 +273,20 @@ func (o *RIS) Refresh(res *graph.Residual) {
 	o.cachedAlive = res.N()
 }
 
+// InvalidateTopology drops the cached RR sets containing any node touched
+// by a topology delta (the To-endpoints of changed edges — see
+// graph.ApplyDelta) and voids the version cache, forcing the next query to
+// refresh. A reverse walk that never visits a touched node never examines
+// a changed edge, so every surviving set is a valid RR set of the mutated
+// graph: with reuse on, the following Refresh keeps the survivors and
+// draws only the shortfall; with reuse off it regenerates from scratch as
+// always. Consumes no randomness, so the oracle's stream stays aligned
+// with an unmutated run up to the first post-delta refresh.
+func (o *RIS) InvalidateTopology(touched []graph.NodeID) {
+	o.b.Invalidate(touched)
+	o.cachedVersion = -1
+}
+
 // RISState is the serializable snapshot of a RIS oracle: its RNG stream,
 // version cache, and batcher (collection + accounting). Configuration
 // (theta, workers, reuse) is captured too so a restored oracle resamples

@@ -329,3 +329,87 @@ func (c *Collection) Filter(res *graph.Residual) int {
 	c.requested = w
 	return w
 }
+
+// InvalidateTouching compacts the collection in place to the RR sets that
+// contain none of the touched nodes — the generalized invalidation
+// contract for topology deltas. Reverse sampling examines edge (u,v) only
+// when it visits v, so an RR set avoiding every delta target endpoint
+// (graph.DeltaResult.Touched) is distributed on the new topology exactly
+// as it was drawn on the old one and stays valid; sets containing a
+// touched node are dropped and the shortfall is topped up through the
+// usual Batcher.GrowTo. The root-mix caveat of Filter applies here too,
+// proportional to the dropped fraction — small for the sparse-churn
+// deltas this is built for.
+//
+// Unlike Filter, the collection's residual version is left alone: the
+// survivors remain valid for the current residual, so a later Sync/Filter
+// at the same version is the expected no-op. When the inverted index is
+// current it is used to flag the dropped sets in O(hits); otherwise a
+// single mark-and-scan pass over the arena decides. Set ids change on
+// compaction, so any Marks over the collection must be discarded; an
+// attached Coverage is compacted in lockstep. Returns the number of
+// surviving sets.
+func (c *Collection) InvalidateTouching(touched []graph.NodeID) int {
+	if len(touched) == 0 || c.Len() == 0 {
+		return c.Len()
+	}
+	var drop []bool
+	var marked []bool
+	if c.invValid {
+		drop = make([]bool, c.Len())
+		for _, u := range touched {
+			for _, id := range c.SetsContaining(u) {
+				drop[id] = true
+			}
+		}
+	} else {
+		marked = make([]bool, c.n)
+		for _, u := range touched {
+			marked[u] = true
+		}
+	}
+	cov := c.coverage
+	covSeen := 0
+	w := 0         // write cursor over sets
+	wa := int32(0) // write cursor over arena
+	for i := 0; i < c.Len(); i++ {
+		lo, hi := c.offsets[i], c.offsets[i+1]
+		keep := true
+		if drop != nil {
+			keep = !drop[i]
+		} else {
+			for _, u := range c.arena[lo:hi] {
+				if marked[u] {
+					keep = false
+					break
+				}
+			}
+		}
+		if !keep {
+			if cov != nil && i < cov.seen {
+				for _, u := range c.arena[lo:hi] {
+					cov.counts[u]--
+				}
+			}
+			continue
+		}
+		if cov != nil && i < cov.seen {
+			covSeen++
+		}
+		copy(c.arena[wa:wa+(hi-lo)], c.arena[lo:hi])
+		c.roots[w] = c.roots[i]
+		w++
+		wa += hi - lo
+		c.offsets[w] = wa
+	}
+	c.roots = c.roots[:w]
+	c.offsets = c.offsets[:w+1]
+	c.arena = c.arena[:wa]
+	c.invValid = false
+	c.scratch = nil // set ids changed; stale marks must not survive
+	if cov != nil {
+		cov.seen = covSeen
+	}
+	c.requested = w
+	return w
+}

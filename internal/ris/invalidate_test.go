@@ -1,0 +1,249 @@
+package ris
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// survivingTouched is the brute-force oracle for InvalidateTouching: the
+// subsequence of sets containing none of the touched nodes.
+func survivingTouched(sets []*RRSet, touched []graph.NodeID) []*RRSet {
+	mark := make(map[graph.NodeID]bool, len(touched))
+	for _, u := range touched {
+		mark[u] = true
+	}
+	var out []*RRSet
+	for _, rr := range sets {
+		ok := true
+		for _, u := range rr.Nodes {
+			if mark[u] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+// editEdges applies a parallel-free delta to an edge list: every delete
+// removes the first (From, To) match, inserts are appended.
+func editEdges(base, inserts, deletes []graph.Edge) []graph.Edge {
+	edited := append([]graph.Edge{}, base...)
+	for _, d := range deletes {
+		for i, e := range edited {
+			if e.From == d.From && e.To == d.To {
+				edited = append(edited[:i], edited[i+1:]...)
+				break
+			}
+		}
+	}
+	return append(edited, inserts...)
+}
+
+// TestInvalidateTouchingMatchesBruteForce: after a topology delta,
+// InvalidateTouching must keep exactly the RR sets avoiding every touched
+// node, in order, contents intact, coverage compacted in lockstep, and the
+// collection's residual version untouched — on both the marked-scan path
+// (stale index) and the inverted-index path, against a brute-force rescan.
+func TestInvalidateTouchingMatchesBruteForce(t *testing.T) {
+	for _, warmIndex := range []bool{false, true} {
+		name := "scan"
+		if warmIndex {
+			name = "index"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := randomGraph(t)
+			res := graph.NewResidual(g)
+			c := NewSampler(res, cascade.IC, rng.New(21)).Generate(2000)
+			cov := c.NewCoverage()
+			before := snapshotSets(c)
+
+			_, dres, err := g.ApplyDelta(gen.ChurnDeltas(g, 0.01, rng.New(7)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warmIndex {
+				c.CountContaining(0) // force the inverted index current
+			}
+			versionBefore := c.Version()
+			want := survivingTouched(before, dres.Touched)
+			kept := c.InvalidateTouching(dres.Touched)
+
+			if kept == len(before) {
+				t.Fatal("delta invalidated no sets; churn too weak to test anything")
+			}
+			if kept != len(want) || c.Len() != len(want) {
+				t.Fatalf("kept %d (Len %d), brute force %d", kept, c.Len(), len(want))
+			}
+			for i, rr := range want {
+				if c.Root(i) != rr.Root {
+					t.Fatalf("kept set %d root %d, want %d", i, c.Root(i), rr.Root)
+				}
+				nodes := c.SetNodes(i)
+				if len(nodes) != len(rr.Nodes) {
+					t.Fatalf("kept set %d length %d, want %d", i, len(nodes), len(rr.Nodes))
+				}
+				for j := range nodes {
+					if nodes[j] != rr.Nodes[j] {
+						t.Fatalf("kept set %d node %d: %d, want %d", i, j, nodes[j], rr.Nodes[j])
+					}
+				}
+			}
+			if c.Version() != versionBefore {
+				t.Fatalf("version changed %d -> %d; survivors stay valid for the current residual",
+					versionBefore, c.Version())
+			}
+			// No touched node may remain in any set; coverage must agree
+			// with a brute-force recount after the lockstep compaction.
+			for _, u := range dres.Touched {
+				if got := c.CountContaining(u); got != 0 {
+					t.Fatalf("touched node %d still in %d sets", u, got)
+				}
+			}
+			cov.Update()
+			for u := graph.NodeID(0); u < graph.NodeID(g.N()); u++ {
+				if cov.Count(u) != c.CountContaining(u) {
+					t.Fatalf("coverage desync at node %d: %d vs %d", u, cov.Count(u), c.CountContaining(u))
+				}
+			}
+			// Survivors are still valid at the unchanged residual version:
+			// the next Filter must be a no-op.
+			if again := c.Filter(res); again != kept {
+				t.Fatalf("Filter after invalidate dropped to %d from %d", again, kept)
+			}
+		})
+	}
+}
+
+// TestInvalidateTouchingEdgeCases pins the no-op paths.
+func TestInvalidateTouchingEdgeCases(t *testing.T) {
+	g := fig1Graph()
+	res := graph.NewResidual(g)
+	c := NewSampler(res, cascade.IC, rng.New(3)).Generate(100)
+	if kept := c.InvalidateTouching(nil); kept != 100 {
+		t.Fatalf("empty touched dropped sets: %d", kept)
+	}
+	empty := NewCollection(g.N())
+	if kept := empty.InvalidateTouching([]graph.NodeID{1}); kept != 0 {
+		t.Fatalf("empty collection kept %d", kept)
+	}
+	b := NewBatcher(cascade.IC)
+	if kept := b.Invalidate([]graph.NodeID{1}); kept != 0 {
+		t.Fatalf("batcher invalidate before first sync kept %d", kept)
+	}
+}
+
+// TestDeltaGraphSamplingBitIdenticalToRebuild: the delta-overlay graph and
+// a from-scratch rebuild on the edited edge list must drive the RR sampler
+// through bit-identical draws at equal seeds — the strongest form of the
+// delta ≡ rebuild differential, for both diffusion models and across
+// chained deltas.
+func TestDeltaGraphSamplingBitIdenticalToRebuild(t *testing.T) {
+	g := randomGraph(t)
+	edges := g.Edges()
+	cur := g
+	for round := 0; round < 3; round++ {
+		inserts, deletes := gen.ChurnDeltas(cur, 0.02, rng.New(uint64(100+round)))
+		next, _, err := cur.ApplyDelta(inserts, deletes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		edges = editEdges(edges, inserts, deletes)
+		rebuilt, err := graph.FromEdges(g.N(), true, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, model := range []cascade.Model{cascade.IC, cascade.LT} {
+			seed := uint64(500 + round)
+			cd := NewSampler(graph.NewResidual(next), model, rng.New(seed)).Generate(1500)
+			cr := NewSampler(graph.NewResidual(rebuilt), model, rng.New(seed)).Generate(1500)
+			if cd.Len() != cr.Len() {
+				t.Fatalf("round %d model %v: %d vs %d sets", round, model, cd.Len(), cr.Len())
+			}
+			for i := 0; i < cd.Len(); i++ {
+				if cd.Root(i) != cr.Root(i) {
+					t.Fatalf("round %d model %v set %d: root %d vs %d", round, model, i, cd.Root(i), cr.Root(i))
+				}
+				a, b := cd.SetNodes(i), cr.SetNodes(i)
+				if len(a) != len(b) {
+					t.Fatalf("round %d model %v set %d: %d vs %d nodes", round, model, i, len(a), len(b))
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("round %d model %v set %d node %d: %d vs %d", round, model, i, j, a[j], b[j])
+					}
+				}
+			}
+		}
+		cur = next
+	}
+}
+
+// TestPostDeltaTopUpChiSquareMatchesFresh: after invalidation, the top-up
+// draws on the delta-overlay graph must be distributed like fresh draws on
+// the rebuilt graph. Both pools share the identical base draw and
+// invalidation; only the top-up seed differs, so a chi-square over
+// per-node containment counts isolates exactly the delta-graph-vs-rebuilt
+// sampling distribution.
+func TestPostDeltaTopUpChiSquareMatchesFresh(t *testing.T) {
+	const theta = 3000
+	g := randomGraph(t)
+	inserts, deletes := gen.ChurnDeltas(g, 0.01, rng.New(13))
+	ng, dres, err := g.ApplyDelta(inserts, deletes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := graph.FromEdges(g.N(), true, editEdges(g.Edges(), inserts, deletes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := func(post *graph.Graph, topSeed uint64) *Collection {
+		b := NewBatcher(cascade.IC)
+		res := graph.NewResidual(g)
+		if _, err := b.GrowTo(res, rng.New(77), theta, 1); err != nil {
+			t.Fatal(err)
+		}
+		kept := b.Invalidate(dres.Touched)
+		if kept == theta || kept == 0 {
+			t.Fatalf("degenerate invalidation kept %d of %d", kept, theta)
+		}
+		if _, err := b.GrowTo(graph.NewResidual(post), rng.New(topSeed), theta, 1); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != theta {
+			t.Fatalf("top-up reached %d of %d", b.Len(), theta)
+		}
+		return b.Collection()
+	}
+	a := pool(ng, 901)      // top-up on the delta-overlay graph
+	b := pool(rebuilt, 902) // top-up on the full rebuild, different stream
+
+	stat, df := 0.0, 0
+	for u := 0; u < g.N(); u++ {
+		ca, cb := a.CountContaining(graph.NodeID(u)), b.CountContaining(graph.NodeID(u))
+		if ca+cb < 16 {
+			continue
+		}
+		d := float64(ca - cb)
+		stat += d * d / float64(ca+cb)
+		df++
+	}
+	if df < 20 {
+		t.Fatalf("only %d nodes had enough mass for the chi-square", df)
+	}
+	// stat ~ χ²(df) under the null; six sigmas of headroom keeps the fixed
+	// seeds deterministic-green while still catching any systematic skew.
+	limit := float64(df) + 6*math.Sqrt(2*float64(df))
+	if stat > limit {
+		t.Fatalf("chi-square %0.1f over %d nodes exceeds %0.1f: delta-graph top-up diverges from fresh sampling", stat, df, limit)
+	}
+}

@@ -162,6 +162,20 @@ func (b *Batcher) Sync(res *graph.Residual) int {
 	return kept
 }
 
+// Invalidate drops the RR sets that contain any of the touched nodes of a
+// topology delta (Collection.InvalidateTouching) and counts the survivors
+// as reused draws, so post-delta accounting mirrors the filter/top-up
+// cycle. A no-op before the first Sync/GrowTo. Returns the surviving
+// count.
+func (b *Batcher) Invalidate(touched []graph.NodeID) int {
+	if b.col == nil {
+		return 0
+	}
+	kept := b.col.InvalidateTouching(touched)
+	b.reused += int64(kept)
+	return kept
+}
+
 // GrowTo tops the collection up to target RR sets on res, drawing only the
 // shortfall through the persistent pool (one batch; RNG substreams are
 // split off parent only when something is drawn). The coverage tracker, if

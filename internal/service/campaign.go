@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/adaptive"
 	"repro/internal/cascade"
+	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ris"
 	"repro/internal/rng"
@@ -27,11 +28,30 @@ type Campaign struct {
 	Simulate bool
 
 	mu      sync.Mutex
+	reg     *Registry
 	inst    *Instance
 	sess    *adaptive.Session
 	env     *adaptive.Environment // nil in external-feedback mode
 	batcher *ris.Batcher
 	closed  bool
+}
+
+// mutationWorldRNG derives the realization stream for the world sampled
+// after the n-th topology mutation. It is a pure function of (campaign
+// seed, n) — deliberately independent of the graph-dependent base world
+// stream — so a restore needs only the replayed graph and the mutation
+// count to rebuild the environment in lockstep, and the base campaign's
+// realization-0 seed parity with `repro run` is untouched.
+func mutationWorldRNG(seed uint64, n int) *rng.RNG {
+	return rng.New(seed ^ (0x9E3779B97F4A7C15 * uint64(n)))
+}
+
+// derivedPrepared clones a preparation around the session's post-delta
+// instance. ImmRes stays the base preparation's: target selection
+// happened on the base graph and is frozen for the campaign's lifetime.
+func derivedPrepared(base *sweep.Prepared, sess *adaptive.Session) *sweep.Prepared {
+	inst := sess.Instance()
+	return &sweep.Prepared{G: inst.G, DS: base.DS, Inst: inst, ImmRes: base.ImmRes, SetupMS: base.SetupMS}
 }
 
 // optsFromSpec mirrors sweep.Execute's RunOptions construction, so a
@@ -109,14 +129,31 @@ func (r *Registry) openCampaign(inst *Instance, id string, key Key, algo string,
 	}
 	var env *adaptive.Environment
 	if simulate {
-		rz := cascade.Sample(prep.G, prep.Inst.Model, worldRNG)
+		// A campaign restored mid-mutation lives on the replayed graph; its
+		// realization comes from the last mutation's world stream, exactly
+		// the one Mutate sampled before the checkpoint. The base world split
+		// above is consumed either way, preserving seed parity.
+		g, wr := prep.G, worldRNG
+		if n := sess.Mutations(); n > 0 {
+			g, wr = sess.Instance().G, mutationWorldRNG(seed, n)
+		}
+		rz := cascade.Sample(g, prep.Inst.Model, wr)
 		// The session's residual already reflects every observation made
 		// before the checkpoint, so the environment resumes in lockstep.
 		env = adaptive.NewEnvironmentAt(rz, sess.CloneResidual(), sess.Spread())
 	}
+	if n := sess.Mutations(); n > 0 {
+		// Re-home the campaign on the derived instance so its warm state
+		// pools under the topology epoch, never the base key.
+		dkey := key.base()
+		dkey.Epoch = int64(n)
+		derived := r.AdoptDerived(dkey, derivedPrepared(prep, sess))
+		inst.Release()
+		inst, key = derived, dkey
+	}
 	return &Campaign{
 		ID: id, Key: key, Algo: algo, Seed: seed, Simulate: simulate,
-		inst: inst, sess: sess, env: env, batcher: b,
+		reg: r, inst: inst, sess: sess, env: env, batcher: b,
 	}, nil
 }
 
@@ -170,6 +207,63 @@ func (c *Campaign) Step() (seed graph.NodeID, stop bool, activated []graph.NodeI
 		return 0, true, nil, err
 	}
 	return u, false, a, nil
+}
+
+// MutateInfo reports one applied topology delta.
+type MutateInfo struct {
+	Key      Key   `json:"key"`   // the campaign's new (epoch-bumped) key
+	Epoch    int64 `json:"epoch"` // topology epoch after the delta
+	Inserted int   `json:"inserted"`
+	Deleted  int   `json:"deleted"`
+	Touched  int   `json:"touched"` // nodes whose RR membership invalidates a set
+}
+
+// Mutate applies a topology delta to the live campaign between rounds:
+// either the explicit edge lists, or — when churnPct > 0 — a generated
+// churn delta replacing churnPct percent of the current edges
+// (gen.ChurnDeltas seeded with churnSeed, deterministic and replayable).
+// The session invalidates exactly the RR sets touching a changed edge
+// (adaptive.Session.Mutate), the simulated environment re-samples its
+// realization on the new graph, and the campaign re-homes onto a derived
+// registry instance keyed by the new topology epoch.
+func (c *Campaign) Mutate(inserts, deletes []graph.Edge, churnPct float64, churnSeed uint64) (*MutateInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.failIfClosed(); err != nil {
+		return nil, err
+	}
+	if churnPct > 0 {
+		if len(inserts)+len(deletes) > 0 {
+			return nil, fmt.Errorf("service: mutate takes explicit edges or churn_pct, not both")
+		}
+		inserts, deletes = gen.ChurnDeltas(c.sess.Instance().G, churnPct/100, rng.New(churnSeed))
+	} else if len(inserts)+len(deletes) == 0 {
+		return nil, fmt.Errorf("service: empty mutation (give inserts/deletes or churn_pct > 0)")
+	}
+	dres, err := c.sess.Mutate(inserts, deletes)
+	if err != nil {
+		return nil, err
+	}
+	n := c.sess.Mutations()
+	if c.env != nil {
+		rz := cascade.Sample(c.sess.Instance().G, c.sess.Instance().Model, mutationWorldRNG(c.Seed, n))
+		c.env = adaptive.NewEnvironmentAt(rz, c.sess.CloneResidual(), c.sess.Spread())
+	}
+	// Re-home onto the epoch-keyed derived instance; the old reference
+	// (base, or the previous epoch's) goes back to the registry.
+	prep, err := c.inst.Prepared()
+	if err != nil {
+		return nil, err
+	}
+	dkey := c.Key.base()
+	dkey.Epoch = int64(n)
+	derived := c.reg.AdoptDerived(dkey, derivedPrepared(prep, c.sess))
+	c.inst.Release()
+	c.inst, c.Key = derived, dkey
+	return &MutateInfo{
+		Key: dkey, Epoch: int64(n),
+		Inserted: dres.Inserted, Deleted: dres.Deleted, Touched: len(dres.Touched),
+	}, nil
 }
 
 // Status is the campaign's progress snapshot.
@@ -304,14 +398,21 @@ func (r *Registry) RestoreCampaign(file string) (*Campaign, error) {
 		return nil, fmt.Errorf("service: %s: envelope version %d not supported (this build reads %d)",
 			file, hdr.Version, ckptEnvelopeVersion)
 	}
-	inst, err := r.Acquire(hdr.Key)
+	// Always restore through the base instance: the session blob carries
+	// the delta log, and openCampaign replays it and re-adopts the derived
+	// epoch key — a mutated campaign's graph cannot be Prepared from disk.
+	inst, err := r.Acquire(hdr.Key.base())
 	if err != nil {
 		return nil, err
 	}
-	c, err := r.openCampaign(inst, hdr.ID, hdr.Key, hdr.Algo, hdr.Seed, hdr.Simulate, data[nl+1:])
+	c, err := r.openCampaign(inst, hdr.ID, hdr.Key.base(), hdr.Algo, hdr.Seed, hdr.Simulate, data[nl+1:])
 	if err != nil {
 		inst.Release()
 		return nil, fmt.Errorf("service: %s: %w", file, err)
+	}
+	if c.Key.Epoch != hdr.Key.Epoch {
+		c.Close()
+		return nil, fmt.Errorf("service: %s: checkpoint says epoch %d, replayed session is at %d", file, hdr.Key.Epoch, c.Key.Epoch)
 	}
 	return c, nil
 }

@@ -61,6 +61,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns/{id}/next", s.handleNext)
 	mux.HandleFunc("POST /v1/campaigns/{id}/observe", s.handleObserve)
 	mux.HandleFunc("POST /v1/campaigns/{id}/step", s.handleStep)
+	mux.HandleFunc("POST /v1/campaigns/{id}/mutate", s.handleMutate)
 	mux.HandleFunc("POST /v1/campaigns/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
 	return mux
@@ -255,6 +256,34 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 		resp.Seed = &u
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// mutateRequest is the POST /v1/campaigns/{id}/mutate body: explicit
+// edge lists, or a generated churn delta (churn_pct percent of the
+// current edges, deterministic in churn_seed).
+type mutateRequest struct {
+	Inserts   []graph.Edge `json:"inserts,omitempty"`
+	Deletes   []graph.Edge `json:"deletes,omitempty"`
+	ChurnPct  float64      `json:"churn_pct,omitempty"`
+	ChurnSeed uint64       `json:"churn_seed,omitempty"`
+}
+
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	c := s.campaign(w, r)
+	if c == nil {
+		return
+	}
+	var req mutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return
+	}
+	info, err := c.Mutate(req.Inserts, req.Deletes, req.ChurnPct, req.ChurnSeed)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {

@@ -60,6 +60,12 @@ type Row struct {
 	ImmTotalRR        int64 `json:"imm_total_rr"`
 	ImmPeakRRBytes    int64 `json:"imm_peak_rr_bytes"`
 
+	// Churn is the temporal-workload schedule ("p@k") of a dynamic cell;
+	// Mutations counts the topology deltas applied across all its
+	// realizations. Both omitted for static cells.
+	Churn     string `json:"churn,omitempty"`
+	Mutations int    `json:"mutations,omitempty"`
+
 	Seed    uint64 `json:"seed"`
 	SetupMS int64  `json:"setup_ms"` // dataset gen + IMM + cost calibration (shared across a group)
 	WallMS  int64  `json:"wall_ms"`  // algorithm execution only
@@ -132,7 +138,9 @@ func Prepare(spec *Spec, dataset, model, costSetting string) (*Prepared, error) 
 
 // Execute runs one algorithm cell on a prepared group over spec.Reps
 // realizations. interrupt, when non-nil, is polled between realizations
-// (budget/SIGINT checkpointing).
+// and before every session round (budget/SIGINT checkpointing). Temporal
+// cells (Cell.Churn != "none") run through the churn driver instead of
+// adaptive.RunExperiment, mutating the topology on schedule.
 func Execute(spec *Spec, p *Prepared, cell Cell, interrupt func() error) (*Row, error) {
 	start := time.Now()
 	cs, err := ParseCostSetting(cell.Cost)
@@ -140,6 +148,10 @@ func Execute(spec *Spec, p *Prepared, cell Cell, interrupt func() error) (*Row, 
 		return nil, err
 	}
 	m, err := ParseModel(cell.Model)
+	if err != nil {
+		return nil, err
+	}
+	frac, every, err := ParseChurn(cell.Churn)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +167,15 @@ func Execute(spec *Spec, p *Prepared, cell Cell, interrupt func() error) (*Row, 
 		NSGTheta:  spec.NSGTheta,
 		Interrupt: interrupt,
 	}
-	rep, err := adaptive.RunExperiment(p.Inst, cell.Algo, spec.Reps, opts, spec.Seed+100)
+	var rep *adaptive.Report
+	var churn string
+	var mutations int
+	if every > 0 {
+		churn = cell.Churn
+		rep, mutations, err = runChurn(spec, p, cell, frac, every, opts)
+	} else {
+		rep, err = adaptive.RunExperiment(p.Inst, cell.Algo, spec.Reps, opts, spec.Seed+100)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +215,8 @@ func Execute(spec *Spec, p *Prepared, cell Cell, interrupt func() error) (*Row, 
 		Attempts:          rep.Attempts,
 		RRBatches:         rep.RRBatches,
 		CertifiedEarly:    rep.CertifiedEarly,
+		Churn:             churn,
+		Mutations:         mutations,
 		ImmTheta:          p.ImmRes.Theta,
 		ImmThetaRequested: p.ImmRes.ThetaRequested,
 		ImmTotalRR:        p.ImmRes.TotalRR,

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/adaptive"
@@ -24,6 +25,14 @@ type Spec struct {
 	Models       []string `json:"models"`
 	CostSettings []string `json:"cost_settings"`
 	Algos        []string `json:"algos"`
+
+	// Churns is the temporal-workload axis: each entry is either "none"
+	// (static graph, the historical behaviour) or "p@k" — churn p percent
+	// of the edges (deletes plus matching inserts, gen.ChurnDeltas) every k
+	// observed rounds, with RR invalidation and top-up instead of a
+	// rebuild. Defaults to ["none"], which also keeps cell keys and
+	// journals byte-compatible with pre-churn sweeps.
+	Churns []string `json:"churns,omitempty"`
 
 	Scale    float64 `json:"scale"`
 	K        int     `json:"k"`
@@ -93,6 +102,9 @@ func (s *Spec) SetDefaults() {
 	if len(s.Algos) == 0 {
 		s.Algos = append([]string(nil), adaptive.Algorithms...)
 	}
+	if len(s.Churns) == 0 {
+		s.Churns = []string{ChurnNone}
+	}
 	if s.Scale == 0 {
 		s.Scale = 0.1
 	}
@@ -157,6 +169,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("sweep: unknown algorithm %q (have %v)", a, adaptive.Algorithms)
 		}
 	}
+	for _, ch := range s.Churns {
+		if _, _, err := ParseChurn(ch); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
 	okSampler := false
 	for _, p := range adaptive.SamplingPolicies {
 		if s.Sampler == p {
@@ -193,11 +210,20 @@ type Cell struct {
 	Model   string
 	Cost    string
 	Algo    string
+	// Churn is the temporal-workload schedule ("p@k"), or "none"/"" for a
+	// static cell.
+	Churn string
 }
 
-// Key returns the canonical cell identity "dataset/model/cost/algo".
+// Key returns the canonical cell identity "dataset/model/cost/algo",
+// with "/churn=p@k" appended for temporal cells only — static cells keep
+// the historical four-segment key, so pre-churn journals resume cleanly.
 func (c Cell) Key() string {
-	return c.Dataset + "/" + c.Model + "/" + c.Cost + "/" + c.Algo
+	k := c.Dataset + "/" + c.Model + "/" + c.Cost + "/" + c.Algo
+	if c.Churn != "" && c.Churn != ChurnNone {
+		k += "/churn=" + c.Churn
+	}
+	return k
 }
 
 // GroupKey identifies the prepared instance the cell shares with its
@@ -208,16 +234,23 @@ func (c Cell) GroupKey() string {
 }
 
 // Cells enumerates the grid in canonical order: dataset-major, then
-// model, cost setting, algorithm. Canonical journals list cells in this
-// order; group-mates are adjacent so a prepared instance is shared by
-// consecutive cells.
+// model, cost setting, algorithm, churn schedule. Canonical journals
+// list cells in this order; group-mates are adjacent so a prepared
+// instance is shared by consecutive cells (churn never re-prepares —
+// temporal cells mutate immutable per-session copies of the group graph).
 func (s *Spec) Cells() []Cell {
-	out := make([]Cell, 0, len(s.Datasets)*len(s.Models)*len(s.CostSettings)*len(s.Algos))
+	churns := s.Churns
+	if len(churns) == 0 {
+		churns = []string{ChurnNone}
+	}
+	out := make([]Cell, 0, len(s.Datasets)*len(s.Models)*len(s.CostSettings)*len(s.Algos)*len(churns))
 	for _, d := range s.Datasets {
 		for _, m := range s.Models {
 			for _, c := range s.CostSettings {
 				for _, a := range s.Algos {
-					out = append(out, Cell{Dataset: d, Model: m, Cost: c, Algo: a})
+					for _, ch := range churns {
+						out = append(out, Cell{Dataset: d, Model: m, Cost: c, Algo: a, Churn: ch})
+					}
 				}
 			}
 		}
@@ -235,6 +268,33 @@ func ParseModel(s string) (cascade.Model, error) {
 	default:
 		return 0, fmt.Errorf("unknown diffusion model %q (have ic, lt)", s)
 	}
+}
+
+// ChurnNone is the churn schedule of a static cell: no topology deltas.
+const ChurnNone = "none"
+
+// ParseChurn parses a churn schedule. "none" (or "") means a static
+// graph and returns (0, 0). "p@k" means: every k observed rounds, delete
+// a uniform random p percent of the edges and insert the same number of
+// fresh ones (gen.ChurnDeltas), so the edge count is conserved. p may be
+// fractional ("0.5@1"); k must be a positive integer.
+func ParseChurn(s string) (frac float64, every int, err error) {
+	if s == "" || strings.EqualFold(s, ChurnNone) {
+		return 0, 0, nil
+	}
+	at := strings.IndexByte(s, '@')
+	if at < 0 {
+		return 0, 0, fmt.Errorf("churn schedule %q: want \"p@k\" (p%% of edges every k rounds) or %q", s, ChurnNone)
+	}
+	pct, perr := strconv.ParseFloat(s[:at], 64)
+	if perr != nil || pct <= 0 || pct > 100 {
+		return 0, 0, fmt.Errorf("churn schedule %q: percentage must be in (0, 100], got %q", s, s[:at])
+	}
+	every, kerr := strconv.Atoi(s[at+1:])
+	if kerr != nil || every <= 0 {
+		return 0, 0, fmt.Errorf("churn schedule %q: round interval must be a positive integer, got %q", s, s[at+1:])
+	}
+	return pct / 100, every, nil
 }
 
 // ParseCostSetting maps a cost-setting name to its cost.Setting.
