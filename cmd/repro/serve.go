@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/fault"
 	"repro/internal/service"
 	"repro/internal/sweep"
 )
@@ -28,6 +29,9 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
 	ckptDir := fs.String("checkpoint-dir", "", "directory for campaign checkpoints (empty disables checkpoint/drain persistence)")
 	maxInstances := fs.Int("max-instances", 8, "idle prepared instances kept warm before LRU eviction (0 = unlimited)")
+	requestTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request write deadline (a campaign step on a large instance can be slow)")
+	maxSteps := fs.Int("max-steps", 0, "max concurrently executing campaign steps before 429 (0 = 2×GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "total budget for the shutdown checkpoint sweep")
 	dataset := fs.String("dataset", "nethept-s", "default dataset for campaigns that omit one")
 	model := fs.String("model", "ic", "default diffusion model: ic or lt")
 	costName := fs.String("cost", "degree-proportional", "default cost setting")
@@ -55,7 +59,27 @@ func cmdServe(args []string) error {
 
 	reg := service.NewRegistry(spec, *maxInstances)
 	srv := service.NewServer(reg, *ckptDir)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	srv.SetLogOutput(os.Stderr)
+	srv.SetDrainTimeout(*drainTimeout)
+	if *maxSteps > 0 {
+		srv.SetMaxConcurrentSteps(*maxSteps)
+	}
+	if spec, err := fault.EnableFromEnv(); err != nil {
+		return err
+	} else if spec != "" {
+		fmt.Fprintf(os.Stderr, "repro serve: FAULT INJECTION ACTIVE (%s=%s)\n", fault.EnvVar, spec)
+	}
+	// Timeouts make a stalled or malicious client a bounded cost: slowloris
+	// headers die in 5s, an idle keep-alive in 2min, and a response that
+	// cannot be written within --request-timeout is abandoned.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *requestTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()

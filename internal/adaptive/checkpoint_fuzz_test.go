@@ -1,0 +1,68 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// fuzzInstance is fig1Instance without the *testing.T plumbing, so the
+// fuzz target can build it once.
+func fuzzInstance(f *testing.F) *Instance {
+	f.Helper()
+	g := fig1Graph()
+	targets := []graph.NodeID{0, 1, 5}
+	costs, err := cost.Assign(g, targets, 4.5, cost.Uniform, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return &Instance{G: g, Model: cascade.IC, Targets: targets, Costs: costs}
+}
+
+// FuzzResumeSession feeds arbitrary bytes — and mutations of a genuine
+// checkpoint — to the session decoder. The service layer's CRC64
+// envelope catches accidental damage before the blob gets here, but the
+// decoder is the last line of defense against a hostile or buggy writer:
+// it must return an error for anything it cannot replay, never panic.
+func FuzzResumeSession(f *testing.F) {
+	inst := fuzzInstance(f)
+	sess, err := NewSession(inst, AlgoADDATP, RunOptions{}, rng.New(5))
+	if err != nil {
+		f.Fatal(err)
+	}
+	env := NewEnvironment(fig1Realization(inst.G))
+	if u, stop, err := sess.NextSeed(); err != nil || stop {
+		f.Fatalf("next: stop=%v err=%v", stop, err)
+	} else if err := sess.Observe(env.Observe(u)); err != nil {
+		f.Fatal(err)
+	}
+	blob, err := sess.Checkpoint()
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	for i := 0; i < len(blob); i += 31 { // seed a few single-byte flips
+		mut := append([]byte(nil), blob...)
+		mut[i] ^= 0xA5
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ResumeSession(inst, data, ResumeOptions{})
+		if err != nil {
+			return
+		}
+		// Accepted blobs must yield a session that can at least report
+		// its state without exploding.
+		_ = s.Rounds()
+		_ = s.Seeds()
+		_ = s.Spread()
+	})
+}

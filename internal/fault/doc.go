@@ -1,0 +1,25 @@
+// Package fault is the repository's deterministic fault-injection plane:
+// a seedable Injector firing at named sites threaded through the serving
+// stack's failure-prone operations — checkpoint I/O, journal appends,
+// instance preparation, RR batch top-ups — so the chaos suite (and a
+// `REPRO_FAULTS` environment spec on a live binary) can exercise every
+// error path the same way twice.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when off. Injection sites compile down to one atomic
+//     pointer load (Check / Write on a nil injector); no site takes a
+//     lock, allocates, or branches further unless an injector is active.
+//  2. Deterministic. An Injector is seeded; probability triggers draw
+//     from the repository's own PCG stream, and nth-call triggers count
+//     site hits, so a fault schedule replays exactly.
+//  3. Honest failure shapes. Modes mirror what real systems do: return
+//     an error, panic (a bug in flight), delay (a stall), or tear a
+//     write (partial bytes reach the file, then the error surfaces) —
+//     the shape crash-only code must survive, not just clean errors.
+//
+// The package also hosts Retry, the jittered-exponential-backoff helper
+// the checkpoint and journal writers use to absorb transient write
+// failures; keeping it here means the fault schedule and the machinery
+// that must mask it are tested as one unit.
+package fault

@@ -1,0 +1,281 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Injection sites. Each names one failure-prone operation; the constant
+// is the spelling a REPRO_FAULTS spec uses.
+const (
+	// SiteCheckpointWrite covers the byte write of a campaign checkpoint
+	// (header + blob + checksum footer). Torn-capable.
+	SiteCheckpointWrite = "ckpt.write"
+	// SiteCheckpointSync covers the fsync of a freshly written checkpoint.
+	SiteCheckpointSync = "ckpt.sync"
+	// SiteCheckpointRename covers the atomic rename publishing a
+	// checkpoint generation.
+	SiteCheckpointRename = "ckpt.rename"
+	// SiteJournalAppend covers one sweep-journal record append (write +
+	// fsync). Torn-capable.
+	SiteJournalAppend = "journal.append"
+	// SiteRegistryPrepare covers sweep.Prepare inside the service
+	// instance registry.
+	SiteRegistryPrepare = "registry.prepare"
+	// SiteBatcherGrow covers one RR-set batch top-up (ris.Batcher.GrowTo)
+	// — the hot operation inside every campaign step.
+	SiteBatcherGrow = "batcher.grow"
+)
+
+// Sites lists every known injection site (spec validation, chaos
+// schedule generation).
+var Sites = []string{
+	SiteCheckpointWrite,
+	SiteCheckpointSync,
+	SiteCheckpointRename,
+	SiteJournalAppend,
+	SiteRegistryPrepare,
+	SiteBatcherGrow,
+}
+
+// Mode is the failure shape a rule injects.
+type Mode int
+
+const (
+	ModeError Mode = iota // the operation reports an injected error
+	ModePanic             // the operation panics mid-flight
+	ModeDelay             // the operation stalls for Rule.Delay first
+	ModeTorn              // a write persists a prefix, then errors (non-write sites degrade to ModeError)
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModePanic:
+		return "panic"
+	case ModeDelay:
+		return "delay"
+	case ModeTorn:
+		return "torn"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Rule arms one site with one failure. Triggers, checked per hit of the
+// site, in precedence order: Nth fires on exactly the nth hit (1-based,
+// once); Every fires on every multiple of Every; P fires with
+// probability P per hit. A zero-trigger rule never fires.
+type Rule struct {
+	Site  string
+	Mode  Mode
+	Nth   int
+	Every int
+	P     float64
+	Delay time.Duration // ModeDelay stall length
+}
+
+func (r Rule) trigger() string {
+	switch {
+	case r.Nth > 0:
+		return fmt.Sprintf("n%d", r.Nth)
+	case r.Every > 0:
+		return fmt.Sprintf("every%d", r.Every)
+	default:
+		return fmt.Sprintf("p%g", r.P)
+	}
+}
+
+func (r Rule) String() string {
+	s := r.Site + "=" + r.Mode.String()
+	if r.Mode == ModeDelay && r.Delay > 0 {
+		s += ":" + r.Delay.String()
+	}
+	return s + "@" + r.trigger()
+}
+
+// Error is the error type every injected (non-panic) failure carries, so
+// callers and tests can tell an injected fault from an organic one.
+type Error struct {
+	Site string
+	Mode Mode
+	Hit  int // which hit of the site fired
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (hit %d)", e.Mode, e.Site, e.Hit)
+}
+
+// Injector evaluates rules against site hits. Safe for concurrent use.
+type Injector struct {
+	mu    sync.Mutex
+	r     *rng.RNG
+	rules []Rule
+	hits  map[string]int
+	fired map[string]int
+	spec  string
+}
+
+// New builds an injector over rules, drawing probability triggers from a
+// stream seeded with seed.
+func New(seed uint64, rules ...Rule) *Injector {
+	specs := make([]string, len(rules))
+	for i, r := range rules {
+		specs[i] = r.String()
+	}
+	return &Injector{
+		r:     rng.New(seed),
+		rules: rules,
+		hits:  make(map[string]int),
+		fired: make(map[string]int),
+		spec:  joinSpecs(specs),
+	}
+}
+
+func joinSpecs(specs []string) string {
+	out := ""
+	for i, s := range specs {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+// Spec renders the injector's rule set in REPRO_FAULTS syntax.
+func (inj *Injector) Spec() string { return inj.spec }
+
+// Hits returns how many times site was evaluated.
+func (inj *Injector) Hits(site string) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.hits[site]
+}
+
+// Fired returns how many faults actually fired at site.
+func (inj *Injector) Fired(site string) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired[site]
+}
+
+// hit records one evaluation of site and returns the rule that fires, if
+// any, plus the hit ordinal.
+func (inj *Injector) hit(site string) (Rule, int, bool) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.hits[site]++
+	n := inj.hits[site]
+	for _, rule := range inj.rules {
+		if rule.Site != site && rule.Site != "*" {
+			continue
+		}
+		fire := false
+		switch {
+		case rule.Nth > 0:
+			fire = n == rule.Nth
+		case rule.Every > 0:
+			fire = n%rule.Every == 0
+		case rule.P > 0:
+			fire = inj.r.Float64() < rule.P
+		}
+		if fire {
+			inj.fired[site]++
+			return rule, n, true
+		}
+	}
+	return Rule{}, n, false
+}
+
+// tornLen picks how many of n bytes a torn write persists: a uniform
+// prefix in [0, n).
+func (inj *Injector) tornLen(n int) int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return inj.r.Intn(n)
+}
+
+// ---------------------------------------------------------------------------
+// Global activation. The active injector is one atomic pointer; when nil
+// (the default), every site is a single predictable-branch load.
+
+var active atomic.Pointer[Injector]
+
+// Enable installs inj as the process-wide injector and returns the
+// previous one (nil if none). Tests pair it with Disable.
+func Enable(inj *Injector) *Injector {
+	prev := active.Load()
+	active.Store(inj)
+	return prev
+}
+
+// Disable removes the process-wide injector.
+func Disable() { active.Store(nil) }
+
+// Active returns the installed injector, nil when faults are off.
+func Active() *Injector { return active.Load() }
+
+// Check evaluates site against the active injector: it returns an
+// injected *Error, panics, or stalls, per the firing rule's mode — or
+// returns nil (the overwhelmingly common path: one atomic load).
+func Check(site string) error {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	rule, n, fire := inj.hit(site)
+	if !fire {
+		return nil
+	}
+	switch rule.Mode {
+	case ModePanic:
+		panic(&Error{Site: site, Mode: ModePanic, Hit: n})
+	case ModeDelay:
+		time.Sleep(rule.Delay)
+		return nil
+	default: // ModeError; ModeTorn degrades to an error outside Write
+		return &Error{Site: site, Mode: rule.Mode, Hit: n}
+	}
+}
+
+// Write writes data to w through the fault plane. With no active
+// injector (or no firing rule) it is exactly w.Write(data). A firing
+// error rule writes nothing; a torn rule writes a strict prefix first —
+// both then return an injected *Error, so the caller sees the
+// partial-persist-then-fail shape a real crash mid-write leaves behind.
+// Panic and delay rules behave as in Check.
+func Write(site string, w io.Writer, data []byte) (int, error) {
+	inj := active.Load()
+	if inj == nil {
+		return w.Write(data)
+	}
+	rule, n, fire := inj.hit(site)
+	if !fire {
+		return w.Write(data)
+	}
+	switch rule.Mode {
+	case ModePanic:
+		panic(&Error{Site: site, Mode: ModePanic, Hit: n})
+	case ModeDelay:
+		time.Sleep(rule.Delay)
+		return w.Write(data)
+	case ModeTorn:
+		k := inj.tornLen(len(data))
+		wrote, err := w.Write(data[:k])
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, &Error{Site: site, Mode: ModeTorn, Hit: n}
+	default:
+		return 0, &Error{Site: site, Mode: ModeError, Hit: n}
+	}
+}

@@ -1,0 +1,245 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// withInjector installs inj for the test body and guarantees removal.
+func withInjector(t *testing.T, inj *Injector) {
+	t.Helper()
+	prev := Enable(inj)
+	t.Cleanup(func() { Enable(prev) })
+}
+
+func TestCheckNoInjectorIsNil(t *testing.T) {
+	Disable()
+	for _, site := range Sites {
+		if err := Check(site); err != nil {
+			t.Fatalf("Check(%s) with no injector = %v", site, err)
+		}
+	}
+}
+
+func TestNthTriggerFiresExactlyOnce(t *testing.T) {
+	withInjector(t, New(1, Rule{Site: SiteBatcherGrow, Mode: ModeError, Nth: 3}))
+	for i := 1; i <= 10; i++ {
+		err := Check(SiteBatcherGrow)
+		if (err != nil) != (i == 3) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+		if err != nil {
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Site != SiteBatcherGrow || fe.Hit != 3 {
+				t.Fatalf("hit %d: error detail %#v", i, err)
+			}
+		}
+	}
+	if got := Active().Fired(SiteBatcherGrow); got != 1 {
+		t.Fatalf("fired %d times, want 1", got)
+	}
+}
+
+func TestEveryTriggerFiresPeriodically(t *testing.T) {
+	withInjector(t, New(1, Rule{Site: SiteJournalAppend, Mode: ModeError, Every: 4}))
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if Check(SiteJournalAppend) != nil {
+			fired = append(fired, i)
+		}
+	}
+	if want := []int{4, 8, 12}; fmt.Sprint(fired) != fmt.Sprint(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+}
+
+func TestProbabilityTriggerIsDeterministicInSeed(t *testing.T) {
+	run := func(seed uint64) []bool {
+		inj := New(seed, Rule{Site: SiteBatcherGrow, Mode: ModeError, P: 0.5})
+		prev := Enable(inj)
+		defer Enable(prev)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Check(SiteBatcherGrow) != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("same seed produced different fault schedules")
+	}
+	c := run(8)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical 64-hit schedules (suspicious)")
+	}
+	fires := 0
+	for _, f := range a {
+		if f {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 fired %d/64 times", fires)
+	}
+}
+
+func TestPanicModePanicsWithTypedError(t *testing.T) {
+	withInjector(t, New(1, Rule{Site: SiteRegistryPrepare, Mode: ModePanic, Nth: 1}))
+	defer func() {
+		p := recover()
+		fe, ok := p.(*Error)
+		if !ok || fe.Mode != ModePanic || fe.Site != SiteRegistryPrepare {
+			t.Fatalf("recovered %#v, want injected panic Error", p)
+		}
+	}()
+	_ = Check(SiteRegistryPrepare)
+	t.Fatal("Check did not panic")
+}
+
+func TestTornWritePersistsStrictPrefix(t *testing.T) {
+	withInjector(t, New(3, Rule{Site: SiteCheckpointWrite, Mode: ModeTorn, Nth: 1}))
+	var buf bytes.Buffer
+	data := []byte("0123456789abcdef")
+	n, err := Write(SiteCheckpointWrite, &buf, data)
+	if err == nil {
+		t.Fatal("torn write returned nil error")
+	}
+	if n != buf.Len() || n >= len(data) {
+		t.Fatalf("torn write persisted %d bytes (buffer %d, full %d)", n, buf.Len(), len(data))
+	}
+	if !bytes.Equal(buf.Bytes(), data[:n]) {
+		t.Fatal("torn write persisted non-prefix bytes")
+	}
+	// After the rule is spent, writes pass through untouched.
+	buf.Reset()
+	if n, err := Write(SiteCheckpointWrite, &buf, data); err != nil || n != len(data) {
+		t.Fatalf("post-fault write = (%d, %v)", n, err)
+	}
+}
+
+func TestTornDegradesToErrorOutsideWrite(t *testing.T) {
+	withInjector(t, New(1, Rule{Site: SiteBatcherGrow, Mode: ModeTorn, Nth: 1}))
+	err := Check(SiteBatcherGrow)
+	var fe *Error
+	if !errors.As(err, &fe) || fe.Mode != ModeTorn {
+		t.Fatalf("Check under torn rule = %v", err)
+	}
+}
+
+func TestParseRoundTrips(t *testing.T) {
+	spec := "ckpt.write=torn@every3,batcher.grow=error@p0.05,registry.prepare=panic@n1,journal.append=delay:50ms@n2"
+	inj, err := Parse(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.Spec() != spec {
+		t.Fatalf("Spec() = %q, want round-trip of %q", inj.Spec(), spec)
+	}
+	if len(inj.rules) != 4 || inj.rules[3].Delay != 50*time.Millisecond {
+		t.Fatalf("rules = %+v", inj.rules)
+	}
+}
+
+func TestParseRejectsMalformedSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"ckpt.write",
+		"no-such-site=error@n1",
+		"ckpt.write=explode@n1",
+		"ckpt.write=error@n0",
+		"ckpt.write=error@p1.5",
+		"ckpt.write=error@every0",
+		"ckpt.write=error@sometimes",
+		"ckpt.write=delay:-3s@n1",
+	} {
+		if _, err := Parse(spec, 1); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "batcher.grow=error@n2")
+	t.Setenv(EnvSeedVar, "11")
+	inj, err := FromEnv()
+	if err != nil || inj == nil {
+		t.Fatalf("FromEnv = (%v, %v)", inj, err)
+	}
+	t.Setenv(EnvVar, "")
+	if inj, err := FromEnv(); inj != nil || err != nil {
+		t.Fatalf("unset FromEnv = (%v, %v), want (nil, nil)", inj, err)
+	}
+	t.Setenv(EnvVar, "bad spec")
+	if _, err := FromEnv(); err == nil {
+		t.Fatal("malformed env spec accepted")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := Policy{Attempts: 4, Base: time.Microsecond, Cap: 10 * time.Microsecond}
+	calls := 0
+	err := p.Retry(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls", err, calls)
+	}
+}
+
+func TestRetryExhaustsAndReturnsLastError(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Microsecond, Cap: 10 * time.Microsecond}
+	calls := 0
+	last := errors.New("still broken")
+	if err := p.Retry(func() error { calls++; return last }); err != last || calls != 3 {
+		t.Fatalf("Retry = %v after %d calls, want last error after 3", err, calls)
+	}
+}
+
+func TestRetryMasksNthFaultAtWriteSite(t *testing.T) {
+	// The canonical serving pattern: a periodic torn write is absorbed by
+	// the retry loop because the retry is a fresh hit that does not fire.
+	withInjector(t, New(5, Rule{Site: SiteJournalAppend, Mode: ModeTorn, Nth: 1}))
+	var buf bytes.Buffer
+	p := Policy{Attempts: 2, Base: time.Microsecond, Cap: time.Microsecond}
+	data := []byte(`{"type":"cell"}` + "\n")
+	err := p.Retry(func() error {
+		if _, err := Write(SiteJournalAppend, &buf, data); err != nil {
+			buf.Reset() // the caller's truncate-to-last-good-offset
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("buffer after masked fault = %q", buf.Bytes())
+	}
+}
+
+func TestConcurrentChecksAreSafe(t *testing.T) {
+	withInjector(t, New(1, Rule{Site: SiteBatcherGrow, Mode: ModeError, P: 0.3}))
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				_ = Check(SiteBatcherGrow)
+				_, _ = Write(SiteJournalAppend, &bytes.Buffer{}, []byte("x"))
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := Active().Hits(SiteBatcherGrow); got != 8*200 {
+		t.Fatalf("hits = %d, want %d", got, 8*200)
+	}
+}

@@ -1,0 +1,62 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Policy bounds a Retry loop: up to Attempts tries, sleeping an
+// exponentially growing, jittered backoff between them, capped at Cap.
+type Policy struct {
+	Attempts int           // total tries, including the first
+	Base     time.Duration // first backoff before jitter
+	Cap      time.Duration // backoff ceiling
+}
+
+// WritePolicy is the default policy for transient checkpoint/journal
+// write failures: 4 tries over at most ~1s of cumulative backoff — long
+// enough to ride out a stalled disk flush, short enough that a drain
+// deadline still holds. Tests shrink it; serving code uses it as is.
+var WritePolicy = Policy{Attempts: 4, Base: 10 * time.Millisecond, Cap: 250 * time.Millisecond}
+
+// retryJitter randomizes backoff spacing so colliding writers decorrelate.
+// Timing-only randomness: it influences when a retry runs, never what any
+// retried operation computes, so result determinism is untouched.
+var (
+	retryJitterMu sync.Mutex
+	retryJitter   = rng.New(uint64(time.Now().UnixNano()))
+)
+
+func jitter(max time.Duration) time.Duration {
+	retryJitterMu.Lock()
+	f := retryJitter.Float64()
+	retryJitterMu.Unlock()
+	return time.Duration(f * float64(max))
+}
+
+// Retry runs f until it succeeds or the policy is exhausted, backing off
+// between failures (full jitter: each sleep is uniform in (0, backoff]).
+// It retries clean errors only — a panic escapes immediately, because
+// retrying a function that corrupted its own state compounds the damage.
+// Returns nil on the first success, the last error otherwise.
+func (p Policy) Retry(f func() error) error {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	backoff := p.Base
+	var err error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(jitter(backoff))
+			if backoff *= 2; backoff > p.Cap {
+				backoff = p.Cap
+			}
+		}
+		if err = f(); err == nil {
+			return nil
+		}
+	}
+	return err
+}

@@ -1,0 +1,147 @@
+package fault
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// REPRO_FAULTS grammar — comma-separated rules, each
+//
+//	<site>=<mode>@<trigger>
+//
+// where <site> is one of Sites (or "*" for every site), <mode> is
+// error | panic | torn | delay:<duration> (e.g. delay:50ms), and
+// <trigger> is
+//
+//	n<K>      fire on exactly the K-th hit of the site (once)
+//	every<K>  fire on every K-th hit
+//	p<F>      fire with probability F per hit (REPRO_FAULTS_SEED seeds
+//	          the stream; default 1)
+//
+// Example:
+//
+//	REPRO_FAULTS="ckpt.write=torn@every3,batcher.grow=error@p0.05" repro serve …
+
+// EnvVar and EnvSeedVar are the environment variables FromEnv reads.
+const (
+	EnvVar     = "REPRO_FAULTS"
+	EnvSeedVar = "REPRO_FAULTS_SEED"
+)
+
+// Parse builds an injector from a REPRO_FAULTS spec string.
+func Parse(spec string, seed uint64) (*Injector, error) {
+	var rules []Rule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rule, err := parseRule(part)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: empty spec %q", spec)
+	}
+	return New(seed, rules...), nil
+}
+
+func parseRule(s string) (Rule, error) {
+	site, rest, ok := strings.Cut(s, "=")
+	if !ok {
+		return Rule{}, fmt.Errorf("fault: rule %q: want <site>=<mode>@<trigger>", s)
+	}
+	if site != "*" && !knownSite(site) {
+		return Rule{}, fmt.Errorf("fault: rule %q: unknown site %q (have %s)", s, site, strings.Join(Sites, ", "))
+	}
+	modeStr, trigger, ok := strings.Cut(rest, "@")
+	if !ok {
+		return Rule{}, fmt.Errorf("fault: rule %q: missing @<trigger>", s)
+	}
+	rule := Rule{Site: site}
+
+	switch {
+	case modeStr == "error":
+		rule.Mode = ModeError
+	case modeStr == "panic":
+		rule.Mode = ModePanic
+	case modeStr == "torn":
+		rule.Mode = ModeTorn
+	case strings.HasPrefix(modeStr, "delay:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(modeStr, "delay:"))
+		if err != nil || d < 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad delay %q", s, modeStr)
+		}
+		rule.Mode, rule.Delay = ModeDelay, d
+	default:
+		return Rule{}, fmt.Errorf("fault: rule %q: unknown mode %q (error, panic, torn, delay:<dur>)", s, modeStr)
+	}
+
+	switch {
+	case strings.HasPrefix(trigger, "n"):
+		k, err := strconv.Atoi(trigger[1:])
+		if err != nil || k <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad trigger %q", s, trigger)
+		}
+		rule.Nth = k
+	case strings.HasPrefix(trigger, "every"):
+		k, err := strconv.Atoi(trigger[len("every"):])
+		if err != nil || k <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad trigger %q", s, trigger)
+		}
+		rule.Every = k
+	case strings.HasPrefix(trigger, "p"):
+		p, err := strconv.ParseFloat(trigger[1:], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad trigger %q (want p in (0,1])", s, trigger)
+		}
+		rule.P = p
+	default:
+		return Rule{}, fmt.Errorf("fault: rule %q: unknown trigger %q (n<K>, every<K>, p<F>)", s, trigger)
+	}
+	return rule, nil
+}
+
+func knownSite(site string) bool {
+	for _, s := range Sites {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// FromEnv parses REPRO_FAULTS (and REPRO_FAULTS_SEED) and returns the
+// injector, or (nil, nil) when the variable is unset or empty.
+func FromEnv() (*Injector, error) {
+	spec := os.Getenv(EnvVar)
+	if spec == "" {
+		return nil, nil
+	}
+	seed := uint64(1)
+	if s := os.Getenv(EnvSeedVar); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %s=%q: %v", EnvSeedVar, s, err)
+		}
+		seed = v
+	}
+	return Parse(spec, seed)
+}
+
+// EnableFromEnv installs the environment-specified injector, returning
+// its spec for logging ("" when faults are off). Serving binaries call
+// it at startup; it never activates anything unless REPRO_FAULTS is set.
+func EnableFromEnv() (string, error) {
+	inj, err := FromEnv()
+	if err != nil || inj == nil {
+		return "", err
+	}
+	Enable(inj)
+	return inj.Spec(), nil
+}

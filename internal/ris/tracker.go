@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/cascade"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -184,6 +185,14 @@ func (b *Batcher) Invalidate(touched []graph.NodeID) int {
 // the installed interrupt aborted the batch, in which case the error is
 // non-nil and the collection contents must be treated as void.
 func (b *Batcher) GrowTo(res *graph.Residual, parent *rng.RNG, target, workers int) (int, error) {
+	// Fault-plane hook (no-op unless an injector is active): a batch
+	// top-up is the failure-prone operation inside every campaign step,
+	// so the chaos suite injects here. Checked before any state moves, so
+	// an injected error leaves the batcher consistent — only a panic
+	// models mid-operation corruption.
+	if err := fault.Check(fault.SiteBatcherGrow); err != nil {
+		return b.Len(), err
+	}
 	c := b.ensureCol(res)
 	if shortfall := target - c.Len(); shortfall > 0 {
 		before := c.Len()

@@ -2,14 +2,21 @@ package service
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc64"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/adaptive"
 	"repro/internal/cascade"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/ris"
@@ -34,6 +41,14 @@ type Campaign struct {
 	env     *adaptive.Environment // nil in external-feedback mode
 	batcher *ris.Batcher
 	closed  bool
+
+	// failErr, once set, marks the campaign permanently failed: a panic
+	// inside an operation (caught by guard) or a voided session. Every
+	// later operation answers with this error; Status reports the state
+	// and captured stack so the failure is inspectable, and the daemon's
+	// other campaigns keep serving.
+	failErr   error
+	failStack string
 }
 
 // mutationWorldRNG derives the realization stream for the world sampled
@@ -161,7 +176,30 @@ func (c *Campaign) failIfClosed() error {
 	if c.closed {
 		return fmt.Errorf("service: campaign %s is closed", c.ID)
 	}
+	if c.failErr != nil {
+		return fmt.Errorf("service: campaign %s is failed: %w", c.ID, c.failErr)
+	}
 	return nil
+}
+
+// guard is the blast-radius boundary around every campaign operation:
+// deferred under c.mu (after the unlock defer, so it runs first), it
+// converts a panic into a permanent failed state — error and stack
+// captured into the campaign, returned as a plain error — instead of
+// letting it unwind through the daemon. It also latches a voided session
+// (an engine error that destroyed replay determinism) as failure, so a
+// campaign that can no longer make honest progress says so on every call
+// rather than limping.
+func (c *Campaign) guard(err *error) {
+	if r := recover(); r != nil {
+		c.failErr = fmt.Errorf("panic: %v", r)
+		c.failStack = string(debug.Stack())
+		*err = fmt.Errorf("service: campaign %s is failed: %w", c.ID, c.failErr)
+		return
+	}
+	if c.failErr == nil && !c.closed && c.sess.Err() != nil {
+		c.failErr = c.sess.Err()
+	}
 }
 
 // Next advances to the campaign's next proposal (external-feedback mode;
@@ -170,6 +208,7 @@ func (c *Campaign) failIfClosed() error {
 func (c *Campaign) Next() (seed graph.NodeID, stop bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return 0, true, err
 	}
@@ -178,9 +217,10 @@ func (c *Campaign) Next() (seed graph.NodeID, stop bool, err error) {
 
 // Observe feeds back the realized activations of the pending proposal
 // (external-feedback mode).
-func (c *Campaign) Observe(activated []graph.NodeID) error {
+func (c *Campaign) Observe(activated []graph.NodeID) (err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return err
 	}
@@ -192,6 +232,7 @@ func (c *Campaign) Observe(activated []graph.NodeID) error {
 func (c *Campaign) Step() (seed graph.NodeID, stop bool, activated []graph.NodeID, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return 0, true, nil, err
 	}
@@ -226,9 +267,10 @@ type MutateInfo struct {
 // (adaptive.Session.Mutate), the simulated environment re-samples its
 // realization on the new graph, and the campaign re-homes onto a derived
 // registry instance keyed by the new topology epoch.
-func (c *Campaign) Mutate(inserts, deletes []graph.Edge, churnPct float64, churnSeed uint64) (*MutateInfo, error) {
+func (c *Campaign) Mutate(inserts, deletes []graph.Edge, churnPct float64, churnSeed uint64) (info *MutateInfo, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return nil, err
 	}
@@ -276,6 +318,9 @@ type Status struct {
 	Rounds   int            `json:"rounds"`
 	Spread   int            `json:"spread"`
 	Done     bool           `json:"done"`
+	State    string         `json:"state"` // "running" | "done" | "failed"
+	Error    string         `json:"error,omitempty"`
+	Stack    string         `json:"stack,omitempty"`
 	Pending  *graph.NodeID  `json:"pending,omitempty"`
 	Seeds    []graph.NodeID `json:"seeds"`
 }
@@ -289,10 +334,27 @@ func (c *Campaign) Status() Status {
 		Rounds: c.sess.Rounds(), Spread: c.sess.Spread(), Done: c.sess.Done(),
 		Seeds: c.sess.Seeds(),
 	}
+	switch {
+	case c.failErr != nil:
+		st.State = "failed"
+		st.Error = c.failErr.Error()
+		st.Stack = c.failStack
+	case st.Done:
+		st.State = "done"
+	default:
+		st.State = "running"
+	}
 	if p, ok := c.sess.Pending(); ok {
 		st.Pending = &p
 	}
 	return st
+}
+
+// Failed reports whether the campaign is in the permanent failed state.
+func (c *Campaign) Failed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failErr != nil
 }
 
 // Result snapshots the campaign outcome in the batch RunResult shape.
@@ -329,14 +391,94 @@ type ckptHeader struct {
 	Rounds   int    `json:"rounds"`
 }
 
-const ckptEnvelopeVersion = 1
+// Checkpoint envelope v2: header line, session blob, then a 16-byte
+// footer — 8 magic bytes and a little-endian CRC64 (ECMA) of everything
+// before the footer. The checksum makes a torn or bit-flipped file
+// detectable at restore time instead of exploding (or, worse, resuming
+// silently wrong) deep inside the session decoder; the magic keeps a
+// truncated footer from being misread as a checksum. v1 envelopes (no
+// footer) fail the integrity check and are quarantined; none were ever
+// committed.
+const (
+	ckptEnvelopeVersion = 2
+	ckptFooterLen       = 16
+	// keepGenerations superseded checkpoints stay on disk next to the
+	// current one, so a corrupt newest generation never strands the
+	// campaign.
+	keepGenerations = 2
+)
 
-// Checkpoint writes the campaign to dir as campaign-<id>.ckpt (temp file
-// + atomic rename, so a crash mid-write never leaves a torn file under
-// the final name) and returns the path.
-func (c *Campaign) Checkpoint(dir string) (string, error) {
+var (
+	ckptFooterMagic = [8]byte{'R', 'P', 'C', 'K', 'S', 'U', 'M', '2'}
+	ckptCRCTable    = crc64.MakeTable(crc64.ECMA)
+
+	// errCorruptCheckpoint marks integrity failures — the byte-level
+	// damage restore quarantines and falls back from, as opposed to
+	// authentic-but-unusable checkpoints (wrong build version, wrong
+	// instance), where an older generation of the same campaign would
+	// fail identically or silently rewind it.
+	errCorruptCheckpoint = errors.New("corrupt checkpoint")
+
+	// ckptRetry bounds the retry loop absorbing transient checkpoint
+	// write failures. A var so tests can shrink the backoff.
+	ckptRetry = fault.WritePolicy
+)
+
+// sealEnvelope assembles header + blob + checksum footer.
+func sealEnvelope(hdr, blob []byte) []byte {
+	buf := make([]byte, 0, len(hdr)+1+len(blob)+ckptFooterLen)
+	buf = append(buf, hdr...)
+	buf = append(buf, '\n')
+	buf = append(buf, blob...)
+	sum := crc64.Checksum(buf, ckptCRCTable)
+	buf = append(buf, ckptFooterMagic[:]...)
+	buf = binary.LittleEndian.AppendUint64(buf, sum)
+	return buf
+}
+
+// openEnvelope verifies the footer and checksum of checkpoint bytes and
+// splits them into header and blob. Integrity failures wrap
+// errCorruptCheckpoint.
+func openEnvelope(data []byte) (ckptHeader, []byte, error) {
+	var hdr ckptHeader
+	if len(data) < ckptFooterLen {
+		return hdr, nil, fmt.Errorf("%w: %d bytes is shorter than the footer", errCorruptCheckpoint, len(data))
+	}
+	body, footer := data[:len(data)-ckptFooterLen], data[len(data)-ckptFooterLen:]
+	if !bytes.Equal(footer[:8], ckptFooterMagic[:]) {
+		return hdr, nil, fmt.Errorf("%w: footer magic missing (torn write, or a pre-v2 envelope)", errCorruptCheckpoint)
+	}
+	want := binary.LittleEndian.Uint64(footer[8:])
+	if got := crc64.Checksum(body, ckptCRCTable); got != want {
+		return hdr, nil, fmt.Errorf("%w: CRC64 mismatch (stored %#x, computed %#x)", errCorruptCheckpoint, want, got)
+	}
+	nl := bytes.IndexByte(body, '\n')
+	if nl < 0 {
+		return hdr, nil, fmt.Errorf("%w: no header line", errCorruptCheckpoint)
+	}
+	if err := json.Unmarshal(body[:nl], &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("%w: header does not parse: %v", errCorruptCheckpoint, err)
+	}
+	// Past this point the bytes are authentic: failures are compatibility
+	// problems, not damage, and quarantine/fallback must not engage.
+	if hdr.Version != ckptEnvelopeVersion {
+		return hdr, nil, fmt.Errorf("service: envelope version %d not supported (this build reads %d)",
+			hdr.Version, ckptEnvelopeVersion)
+	}
+	return hdr, body[nl+1:], nil
+}
+
+// Checkpoint writes the campaign to dir as campaign-<id>.ckpt and
+// returns the path. The write is crash-only end to end: payload to a
+// temp file, fsync, rotate the previous checkpoint into a numbered
+// generation (campaign-<id>.ckpt.N), atomic rename over the final name,
+// fsync of the directory — so at any kill point the directory holds the
+// old checkpoint, the new one, or both, never a torn file under a final
+// name. Transient write failures are retried with jittered backoff.
+func (c *Campaign) Checkpoint(dir string) (path string, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return "", err
 	}
@@ -351,53 +493,186 @@ func (c *Campaign) Checkpoint(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	payload := sealEnvelope(hdr, blob)
 	final := filepath.Join(dir, "campaign-"+c.ID+".ckpt")
-	tmp, err := os.CreateTemp(dir, ".campaign-*.tmp")
-	if err != nil {
-		return "", err
-	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
-	if _, err := tmp.Write(append(hdr, '\n')); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return "", err
-	}
-	if err := tmp.Close(); err != nil {
-		return "", err
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
+	if err := ckptRetry.Retry(func() error {
+		return writeCheckpointFile(dir, final, payload)
+	}); err != nil {
 		return "", err
 	}
 	return final, nil
 }
 
-// RestoreCampaign reads a checkpoint file and resumes the campaign it
-// holds: same ID, instance key, algorithm, seed, and mode, continuing
-// bit-identically from where Checkpoint left it.
-func (r *Registry) RestoreCampaign(file string) (*Campaign, error) {
-	data, err := os.ReadFile(file)
+// writeCheckpointFile is one full write attempt (retried as a unit).
+func writeCheckpointFile(dir, final string, payload []byte) error {
+	tmp, err := os.CreateTemp(dir, ".campaign-*.tmp")
 	if err != nil {
-		return nil, err
+		return err
 	}
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, fmt.Errorf("service: %s: no header line (not a campaign checkpoint)", file)
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := fault.Write(fault.SiteCheckpointWrite, tmp, payload); err != nil {
+		tmp.Close()
+		return err
 	}
-	var hdr ckptHeader
-	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
-		return nil, fmt.Errorf("service: %s: corrupt header: %w", file, err)
+	if err := fault.Check(fault.SiteCheckpointSync); err != nil {
+		tmp.Close()
+		return err
 	}
-	if hdr.Version != ckptEnvelopeVersion {
-		return nil, fmt.Errorf("service: %s: envelope version %d not supported (this build reads %d)",
-			file, hdr.Version, ckptEnvelopeVersion)
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
 	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := fault.Check(fault.SiteCheckpointRename); err != nil {
+		return err
+	}
+	if err := rotateGeneration(final); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	pruneGenerations(final)
+	return nil
+}
+
+// rotateGeneration moves an existing checkpoint under final into the
+// next free generation slot final.<N> before the new one takes its name.
+func rotateGeneration(final string) error {
+	if _, err := os.Stat(final); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	next := 1
+	if gens := generations(final); len(gens) > 0 {
+		next = gens[len(gens)-1].n + 1
+	}
+	return os.Rename(final, fmt.Sprintf("%s.%d", final, next))
+}
+
+type generation struct {
+	n    int
+	path string
+}
+
+// generations lists final's numbered generation files, ascending by
+// number (newest last). Quarantined (.corrupt) and temp files never
+// match the strictly numeric suffix.
+func generations(final string) []generation {
+	matches, _ := filepath.Glob(final + ".*")
+	var gens []generation
+	for _, m := range matches {
+		suffix := m[len(final)+1:]
+		n, err := strconv.Atoi(suffix)
+		if err != nil || n <= 0 {
+			continue
+		}
+		gens = append(gens, generation{n: n, path: m})
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].n < gens[j].n })
+	return gens
+}
+
+// pruneGenerations drops all but the newest keepGenerations superseded
+// checkpoints. Best effort: a prune failure never fails the checkpoint
+// that just landed.
+func pruneGenerations(final string) {
+	gens := generations(final)
+	for i := 0; i < len(gens)-keepGenerations; i++ {
+		_ = os.Remove(gens[i].path)
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// RestoreInfo reports how a restore resolved: which file actually
+// restored, and which corrupt candidates were quarantined aside (renamed
+// to <name>.corrupt) along the way.
+type RestoreInfo struct {
+	File        string   `json:"restored_from"`
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// RestoreCampaign verifies and resumes the campaign held in a checkpoint
+// file: same ID, instance key, algorithm, seed, and mode, continuing
+// bit-identically from where Checkpoint left it. A corrupt file —
+// truncated, bit-flipped, torn — is quarantined aside (renamed
+// <name>.corrupt, preserved for forensics) and the restore falls back to
+// the newest valid generation (campaign-<id>.ckpt.N) instead of failing
+// the campaign. The returned RestoreInfo says which file won and what
+// was quarantined; the error reflects the *first* failure when no
+// candidate restores.
+func (r *Registry) RestoreCampaign(file string) (*Campaign, *RestoreInfo, error) {
+	info := &RestoreInfo{}
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	candidates := []string{file}
+	for gens := generations(file); len(gens) > 0; gens = gens[:len(gens)-1] {
+		candidates = append(candidates, gens[len(gens)-1].path) // newest generation first
+	}
+	for _, cand := range candidates {
+		data, err := os.ReadFile(cand)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		hdr, blob, err := openEnvelope(data)
+		if err != nil {
+			if errors.Is(err, errCorruptCheckpoint) {
+				info.Quarantined = append(info.Quarantined, quarantine(cand))
+				keep(fmt.Errorf("service: %s: %w", cand, err))
+				continue
+			}
+			keep(fmt.Errorf("service: %s: %w", cand, err))
+			continue
+		}
+		c, err := r.openFromEnvelope(cand, hdr, blob)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		info.File = cand
+		return c, info, nil
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("service: %s: no checkpoint found", file)
+	}
+	return nil, info, firstErr
+}
+
+// quarantine moves a corrupt checkpoint aside so it can never shadow a
+// valid generation again, returning the quarantine name (or, if the
+// rename itself fails, the original name — read-only directories degrade
+// to skipping, not wedging).
+func quarantine(path string) string {
+	q := path + ".corrupt"
+	if err := os.Rename(path, q); err != nil {
+		return path
+	}
+	return q
+}
+
+// openFromEnvelope resumes a session from verified checkpoint contents.
+func (r *Registry) openFromEnvelope(file string, hdr ckptHeader, blob []byte) (*Campaign, error) {
 	// Always restore through the base instance: the session blob carries
 	// the delta log, and openCampaign replays it and re-adopts the derived
 	// epoch key — a mutated campaign's graph cannot be Prepared from disk.
@@ -405,7 +680,7 @@ func (r *Registry) RestoreCampaign(file string) (*Campaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := r.openCampaign(inst, hdr.ID, hdr.Key.base(), hdr.Algo, hdr.Seed, hdr.Simulate, data[nl+1:])
+	c, err := r.openCampaign(inst, hdr.ID, hdr.Key.base(), hdr.Algo, hdr.Seed, hdr.Simulate, blob)
 	if err != nil {
 		inst.Release()
 		return nil, fmt.Errorf("service: %s: %w", file, err)

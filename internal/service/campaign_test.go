@@ -202,7 +202,7 @@ func TestCampaignCheckpointRestoreMatchesUninterrupted(t *testing.T) {
 	}
 	c.Close()
 
-	restored, err := reg.RestoreCampaign(file)
+	restored, _, err := reg.RestoreCampaign(file)
 	if err != nil {
 		t.Fatal(err)
 	}

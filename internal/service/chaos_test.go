@@ -1,0 +1,159 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/adaptive"
+	"repro/internal/fault"
+	"repro/internal/rng"
+)
+
+// fastCkptRetry shrinks the checkpoint retry backoff for a test.
+func fastCkptRetry(t *testing.T) {
+	t.Helper()
+	prev := ckptRetry
+	ckptRetry = fault.Policy{Attempts: 3, Base: time.Microsecond, Cap: 10 * time.Microsecond}
+	t.Cleanup(func() { ckptRetry = prev })
+}
+
+// chaosSites are the fault sites a campaign exercises end to end, with
+// the modes that make sense at each.
+var chaosSites = []struct {
+	site  string
+	modes []fault.Mode
+}{
+	{fault.SiteCheckpointWrite, []fault.Mode{fault.ModeError, fault.ModePanic, fault.ModeTorn}},
+	{fault.SiteCheckpointSync, []fault.Mode{fault.ModeError, fault.ModePanic}},
+	{fault.SiteCheckpointRename, []fault.Mode{fault.ModeError, fault.ModePanic}},
+	{fault.SiteBatcherGrow, []fault.Mode{fault.ModeError, fault.ModePanic}},
+	{fault.SiteRegistryPrepare, []fault.Mode{fault.ModeError}},
+}
+
+// randomSchedule derives a deterministic fault schedule from a seed: one
+// to three rules over the campaign's sites, triggered on an early hit or
+// a cadence so every schedule actually fires within a short campaign.
+func randomSchedule(seed uint64) []fault.Rule {
+	r := rng.New(seed)
+	n := 1 + r.Intn(3)
+	rules := make([]fault.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		cs := chaosSites[r.Intn(len(chaosSites))]
+		rule := fault.Rule{
+			Site: cs.site,
+			Mode: cs.modes[r.Intn(len(cs.modes))],
+		}
+		if r.Bool() {
+			rule.Nth = 1 + r.Intn(4)
+		} else {
+			rule.Every = 1 + r.Intn(3)
+		}
+		rules = append(rules, rule)
+	}
+	return rules
+}
+
+// TestChaosCampaignCheckpointsAlwaysRestore is the crash-only property
+// test: run full campaigns under randomized fault schedules — injected
+// errors, panics, and torn writes across the checkpoint pipeline, RR
+// batcher, and registry — checkpointing after every round. Whatever
+// happens to the live campaign, the invariant must hold: any surviving
+// checkpoint restores (falling back across generations if the newest is
+// damaged) to a campaign whose finished seed sequence is identical to an
+// unfaulted run; and when no checkpoint survived, a fresh run still is.
+func TestChaosCampaignCheckpointsAlwaysRestore(t *testing.T) {
+	fastCkptRetry(t)
+	reg := NewRegistry(testSpec(), 0)
+
+	ref, err := reg.StartCampaign("ref", testKey(), adaptive.AlgoADDATP, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveCampaign(t, ref)
+	ref.Close()
+
+	const schedules = 24
+	for i := 0; i < schedules; i++ {
+		i := i
+		t.Run(fmt.Sprintf("schedule%02d", i), func(t *testing.T) {
+			dir := t.TempDir()
+			rules := randomSchedule(uint64(1000 + i))
+			withInjector(t, fault.New(uint64(i), rules...))
+
+			id := fmt.Sprintf("x%02d", i)
+			c, err := reg.StartCampaign(id, testKey(), adaptive.AlgoADDATP, 31, true)
+			if err == nil {
+				// Drive under fire: step and checkpoint until done or the
+				// campaign fails. Errors are expected; panics must not
+				// escape (the guards convert them).
+				for rounds := 0; rounds < 100; rounds++ {
+					_, stop, _, err := c.Step()
+					if err != nil || stop {
+						break
+					}
+					_, _ = c.Checkpoint(dir) // best effort, like a daemon's periodic snapshot
+				}
+				if c.Failed() {
+					if st := c.Status(); st.State != "failed" || st.Error == "" {
+						t.Errorf("failed campaign status inconsistent: %+v", st)
+					}
+				}
+				c.Close()
+			}
+			fault.Disable()
+
+			final := filepath.Join(dir, "campaign-"+id+".ckpt")
+			restored, info, rerr := reg.RestoreCampaign(final)
+			if rerr != nil {
+				// No checkpoint survived this schedule (or none was ever
+				// written): a fresh campaign must still match the reference.
+				if entries, _ := os.ReadDir(dir); hasValidCheckpoint(t, reg, entries, dir, id) {
+					t.Fatalf("restore failed (%v) though a valid checkpoint exists (quarantined %v)", rerr, info.Quarantined)
+				}
+				fresh, err := reg.StartCampaign(id+"f", testKey(), adaptive.AlgoADDATP, 31, true)
+				if err != nil {
+					t.Fatalf("fresh campaign after faults cleared: %v", err)
+				}
+				got := driveCampaign(t, fresh)
+				fresh.Close()
+				sameOutcome(t, got, want, "fresh run after chaos")
+				return
+			}
+			if restored.Failed() {
+				t.Fatalf("restored campaign (from %s) is failed", info.File)
+			}
+			got := driveCampaign(t, restored)
+			restored.Close()
+			sameOutcome(t, got, want, fmt.Sprintf("restore from %s", filepath.Base(info.File)))
+			if !reflect.DeepEqual(got.Seeds, want.Seeds) {
+				t.Fatalf("seed sequence diverged: %v vs %v", got.Seeds, want.Seeds)
+			}
+		})
+	}
+}
+
+// hasValidCheckpoint reports whether dir still holds any envelope for id
+// that opens cleanly — used to catch a restore that gave up even though a
+// valid generation was on disk.
+func hasValidCheckpoint(t *testing.T, reg *Registry, entries []os.DirEntry, dir, id string) bool {
+	t.Helper()
+	for _, e := range entries {
+		name := e.Name()
+		prefix := "campaign-" + id
+		if len(name) < len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			continue
+		}
+		if _, _, err := openEnvelope(data); err == nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,342 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/adaptive"
+)
+
+// writeCheckpoint starts a campaign, runs it nRounds rounds, checkpoints
+// into dir, closes it, and returns the checkpoint path.
+func writeCheckpoint(t *testing.T, reg *Registry, id string, nRounds int, dir string) string {
+	t.Helper()
+	c, err := reg.StartCampaign(id, testKey(), adaptive.AlgoADDATP, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < nRounds; i++ {
+		if _, stop, _, err := c.Step(); err != nil || stop {
+			t.Fatalf("round %d: stop=%v err=%v (instance too small)", i, stop, err)
+		}
+	}
+	file, err := c.Checkpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return file
+}
+
+// TestRestoreCorruptCheckpointNeverPanics feeds every flavor of on-disk
+// damage — truncation, bit flips in each region, wrong version — to
+// RestoreCampaign and asserts each yields a clean error (no generations
+// exist here, so there is nothing to fall back to), never a panic, and
+// that only byte-level damage gets quarantined.
+func TestRestoreCorruptCheckpointNeverPanics(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+
+	cases := []struct {
+		name string
+		// corrupt rewrites valid checkpoint bytes into the damaged form.
+		corrupt func(t *testing.T, data []byte) []byte
+		errPart string // substring the restore error must carry
+		// quarantined: byte-level damage moves the file to .corrupt;
+		// authentic-but-unusable envelopes must stay where they are.
+		quarantined bool
+	}{
+		{
+			name:        "zero length",
+			corrupt:     func(_ *testing.T, _ []byte) []byte { return nil },
+			errPart:     "shorter than the footer",
+			quarantined: true,
+		},
+		{
+			name:        "truncated mid blob",
+			corrupt:     func(_ *testing.T, d []byte) []byte { return d[:len(d)/2] },
+			errPart:     "corrupt checkpoint",
+			quarantined: true,
+		},
+		{
+			name:        "truncated mid footer",
+			corrupt:     func(_ *testing.T, d []byte) []byte { return d[:len(d)-ckptFooterLen/2] },
+			errPart:     "corrupt checkpoint",
+			quarantined: true,
+		},
+		{
+			name: "bit flip in header",
+			corrupt: func(_ *testing.T, d []byte) []byte {
+				d[2] ^= 0x40
+				return d
+			},
+			errPart:     "CRC64 mismatch",
+			quarantined: true,
+		},
+		{
+			name: "bit flip in blob",
+			corrupt: func(t *testing.T, d []byte) []byte {
+				nl := bytes.IndexByte(d, '\n')
+				if nl < 0 || nl+10 > len(d)-ckptFooterLen {
+					t.Fatal("checkpoint layout not as expected")
+				}
+				d[nl+10] ^= 0x01
+				return d
+			},
+			errPart:     "CRC64 mismatch",
+			quarantined: true,
+		},
+		{
+			name: "bit flip in stored checksum",
+			corrupt: func(_ *testing.T, d []byte) []byte {
+				d[len(d)-1] ^= 0x80
+				return d
+			},
+			errPart:     "CRC64 mismatch",
+			quarantined: true,
+		},
+		{
+			name: "header blob mismatch with recomputed checksum",
+			corrupt: func(t *testing.T, d []byte) []byte {
+				// Authentic envelope, lying header: claim 99 rounds so the
+				// replayed session disagrees with the header. The checksum
+				// is valid, so this must NOT be treated as damage.
+				nl := bytes.IndexByte(d, '\n')
+				var hdr ckptHeader
+				if err := json.Unmarshal(d[:nl], &hdr); err != nil {
+					t.Fatal(err)
+				}
+				hdr.Key.Epoch = 7 // session blob replays to epoch 0
+				h, err := json.Marshal(hdr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob := d[nl+1 : len(d)-ckptFooterLen]
+				return sealEnvelope(h, blob)
+			},
+			errPart:     "epoch",
+			quarantined: false,
+		},
+		{
+			name: "future envelope version with valid checksum",
+			corrupt: func(t *testing.T, d []byte) []byte {
+				nl := bytes.IndexByte(d, '\n')
+				var hdr ckptHeader
+				if err := json.Unmarshal(d[:nl], &hdr); err != nil {
+					t.Fatal(err)
+				}
+				hdr.Version = 99
+				h, err := json.Marshal(hdr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blob := d[nl+1 : len(d)-ckptFooterLen]
+				return sealEnvelope(h, blob)
+			},
+			errPart:     "envelope version 99",
+			quarantined: false,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			file := writeCheckpoint(t, reg, "v", 2, dir)
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(file, tc.corrupt(t, append([]byte(nil), data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			c, info, err := reg.RestoreCampaign(file)
+			if c != nil {
+				c.Close()
+				t.Fatalf("restore of %s succeeded; want failure", tc.name)
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("restore error = %v, want substring %q", err, tc.errPart)
+			}
+			_, statErr := os.Stat(file + ".corrupt")
+			if tc.quarantined {
+				if statErr != nil {
+					t.Errorf("corrupt file not quarantined: %v", statErr)
+				}
+				if len(info.Quarantined) != 1 || info.Quarantined[0] != file+".corrupt" {
+					t.Errorf("info.Quarantined = %v, want [%s]", info.Quarantined, file+".corrupt")
+				}
+			} else {
+				if statErr == nil {
+					t.Errorf("authentic-but-unusable checkpoint was quarantined")
+				}
+				if _, err := os.Stat(file); err != nil {
+					t.Errorf("checkpoint file vanished: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreFallsBackToOlderGeneration corrupts the newest checkpoint of
+// a campaign that has two: the restore must quarantine the damaged file,
+// fall back to the surviving generation, and the resumed campaign must
+// finish identically to an uninterrupted run.
+func TestRestoreFallsBackToOlderGeneration(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	dir := t.TempDir()
+
+	ref, err := reg.StartCampaign("ref", testKey(), adaptive.AlgoADDATP, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := driveCampaign(t, ref)
+	ref.Close()
+
+	c, err := reg.StartCampaign("g", testKey(), adaptive.AlgoADDATP, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file string
+	for i := 0; i < 2; i++ {
+		if _, stop, _, err := c.Step(); err != nil || stop {
+			t.Fatalf("round %d: stop=%v err=%v", i, stop, err)
+		}
+		if file, err = c.Checkpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	gen1 := file + ".1"
+	if _, err := os.Stat(gen1); err != nil {
+		t.Fatalf("superseded checkpoint not rotated to %s: %v", gen1, err)
+	}
+
+	// Flip a bit in the newest checkpoint's blob.
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, info, err := reg.RestoreCampaign(file)
+	if err != nil {
+		t.Fatalf("restore with valid generation on disk failed: %v", err)
+	}
+	if info.File != gen1 {
+		t.Errorf("restored from %s, want fallback to %s", info.File, gen1)
+	}
+	if len(info.Quarantined) != 1 || info.Quarantined[0] != file+".corrupt" {
+		t.Errorf("info.Quarantined = %v, want [%s]", info.Quarantined, file+".corrupt")
+	}
+	if _, err := os.Stat(file + ".corrupt"); err != nil {
+		t.Errorf("damaged checkpoint not preserved for forensics: %v", err)
+	}
+
+	got := driveCampaign(t, restored)
+	restored.Close()
+	sameOutcome(t, got, want, "generation-fallback restore vs uninterrupted")
+}
+
+// TestCheckpointGenerationsRotateAndPrune checkpoints repeatedly and
+// checks the directory: the final name always holds the newest envelope,
+// superseded ones rotate to strictly increasing .N suffixes, and only
+// keepGenerations of them survive pruning.
+func TestCheckpointGenerationsRotateAndPrune(t *testing.T) {
+	reg := NewRegistry(testSpec(), 0)
+	dir := t.TempDir()
+
+	c, err := reg.StartCampaign("p", testKey(), adaptive.AlgoADDATP, 31, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, stop, _, err := c.Step(); err != nil || stop {
+		t.Fatalf("first round: stop=%v err=%v", stop, err)
+	}
+	const writes = keepGenerations + 3
+	var file string
+	for i := 0; i < writes; i++ {
+		if file, err = c.Checkpoint(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gens := generations(file)
+	if len(gens) != keepGenerations {
+		t.Fatalf("generations = %v, want exactly %d survivors", gens, keepGenerations)
+	}
+	// Newest surviving generation is the previous write; numbering never
+	// reuses a pruned slot.
+	if gens[len(gens)-1].n != writes-1 {
+		t.Errorf("newest generation slot %d, want %d", gens[len(gens)-1].n, writes-1)
+	}
+	// Every survivor, and the final file, is a valid envelope.
+	for _, p := range append([]string{file}, gen1paths(gens)...) {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := openEnvelope(data); err != nil {
+			t.Errorf("%s: %v", filepath.Base(p), err)
+		}
+	}
+	// No temp litter.
+	tmps, _ := filepath.Glob(filepath.Join(dir, ".campaign-*.tmp"))
+	if len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}
+
+func gen1paths(gens []generation) []string {
+	out := make([]string, len(gens))
+	for i, g := range gens {
+		out[i] = g.path
+	}
+	return out
+}
+
+// TestEnvelopeRoundTrip pins the envelope byte layout: header line, blob,
+// 8-byte magic, little-endian CRC64 of everything before the footer.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	hdr := []byte(`{"version":2}`)
+	blob := []byte{0, 1, 2, 254, 255, '\n', 'x'}
+	data := sealEnvelope(hdr, blob)
+
+	wantBody := append(append(append([]byte(nil), hdr...), '\n'), blob...)
+	if !bytes.Equal(data[:len(data)-ckptFooterLen], wantBody) {
+		t.Fatalf("envelope body %q, want %q", data[:len(data)-ckptFooterLen], wantBody)
+	}
+	footer := data[len(data)-ckptFooterLen:]
+	if !bytes.Equal(footer[:8], ckptFooterMagic[:]) {
+		t.Fatalf("footer magic %q", footer[:8])
+	}
+	if got, want := binary.LittleEndian.Uint64(footer[8:]), crc64.Checksum(wantBody, ckptCRCTable); got != want {
+		t.Fatalf("stored CRC %#x, want %#x", got, want)
+	}
+
+	gotHdr, gotBlob, err := openEnvelope(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotHdr.Version != 2 || !bytes.Equal(gotBlob, blob) {
+		t.Fatalf("round trip: hdr %+v blob %q", gotHdr, gotBlob)
+	}
+
+	// A v1 file (no footer) classifies as corrupt, not as a crash.
+	v1 := append(append(append([]byte(nil), hdr...), '\n'), blob...)
+	if _, _, err := openEnvelope(v1); !errors.Is(err, errCorruptCheckpoint) {
+		t.Fatalf("pre-v2 envelope error = %v, want errCorruptCheckpoint", err)
+	}
+}

@@ -133,7 +133,7 @@ func TestMutatedCampaignCheckpointRestore(t *testing.T) {
 	}
 	cut.Close()
 
-	restored, err := reg.RestoreCampaign(file)
+	restored, _, err := reg.RestoreCampaign(file)
 	if err != nil {
 		t.Fatal(err)
 	}

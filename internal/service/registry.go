@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/ris"
 	"repro/internal/sweep"
@@ -207,6 +208,12 @@ func (i *Instance) adopt(prep *sweep.Prepared) {
 // so a later Acquire can retry.
 func (i *Instance) Prepared() (*sweep.Prepared, error) {
 	i.once.Do(func() {
+		// Fault-plane hook: a failed preparation is sticky until the last
+		// reference releases (dropping the entry), so injected errors here
+		// exercise the retry-on-next-Acquire path.
+		if i.prepErr = fault.Check(fault.SiteRegistryPrepare); i.prepErr != nil {
+			return
+		}
 		spec := i.reg.base // copy; Scale is per-key
 		spec.Scale = i.Key.Scale
 		i.prep, i.prepErr = sweep.Prepare(&spec, i.Key.Dataset, i.Key.Model, i.Key.Cost)

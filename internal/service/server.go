@@ -3,11 +3,15 @@ package service
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -19,6 +23,15 @@ type Server struct {
 	reg     *Registry
 	ckptDir string
 
+	// stepSem bounds concurrently executing campaign-advancing requests
+	// (step/next/observe/mutate); an overloaded server answers 429 with
+	// Retry-After instead of queueing unboundedly.
+	stepSem chan struct{}
+	// drainTimeout bounds Drain end to end; each campaign gets an equal
+	// share of whatever budget remains when its turn comes.
+	drainTimeout time.Duration
+	logW         io.Writer
+
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
 	nextID    int
@@ -29,11 +42,42 @@ type Server struct {
 // non-empty, is where campaign checkpoints land — explicit checkpoint
 // requests and the Drain sweep both write there.
 func NewServer(reg *Registry, ckptDir string) *Server {
-	return &Server{reg: reg, ckptDir: ckptDir, campaigns: make(map[string]*Campaign)}
+	return &Server{
+		reg: reg, ckptDir: ckptDir, campaigns: make(map[string]*Campaign),
+		stepSem:      make(chan struct{}, 2*runtime.GOMAXPROCS(0)),
+		drainTimeout: 30 * time.Second,
+	}
 }
 
 // Registry returns the server's instance registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// SetMaxConcurrentSteps caps in-flight campaign-advancing requests
+// (default 2×GOMAXPROCS). Call before serving.
+func (s *Server) SetMaxConcurrentSteps(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.stepSem = make(chan struct{}, n)
+}
+
+// SetDrainTimeout bounds the whole Drain sweep (default 30s). Call
+// before serving.
+func (s *Server) SetDrainTimeout(d time.Duration) {
+	if d > 0 {
+		s.drainTimeout = d
+	}
+}
+
+// SetLogOutput directs server diagnostics (recovered panics, drain
+// stragglers) to w. Nil discards them (the default).
+func (s *Server) SetLogOutput(w io.Writer) { s.logW = w }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logW != nil {
+		fmt.Fprintf(s.logW, format+"\n", args...)
+	}
+}
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -64,8 +108,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns/{id}/mutate", s.handleMutate)
 	mux.HandleFunc("POST /v1/campaigns/{id}/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
-	return mux
+	return s.withRecovery(mux)
 }
+
+// withRecovery is the daemon's outermost blast-radius boundary: a panic
+// that escapes a handler (campaign-level guards catch the common case)
+// becomes a logged 500 on that one request, never a dead server.
+func (s *Server) withRecovery(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				// Best effort: if the handler already wrote headers this
+				// write fails silently, and the client sees a torn reply.
+				writeErr(w, http.StatusInternalServerError,
+					fmt.Errorf("service: internal panic serving %s %s", r.Method, r.URL.Path))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// acquireStep claims a slot for a campaign-advancing request. When the
+// server is saturated it answers 429 + Retry-After itself and returns
+// false — backpressure instead of an unbounded goroutine pile-up.
+func (s *Server) acquireStep(w http.ResponseWriter) bool {
+	select {
+	case s.stepSem <- struct{}{}:
+		return true
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Errorf("service: %d campaign steps already in flight; retry shortly", cap(s.stepSem)))
+		return false
+	}
+}
+
+func (s *Server) releaseStep() { <-s.stepSem }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
@@ -193,6 +272,10 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, fmt.Errorf("service: campaign %s is simulated; use step", c.ID))
 		return
 	}
+	if !s.acquireStep(w) {
+		return
+	}
+	defer s.releaseStep()
 	u, stop, err := c.Next()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
@@ -221,6 +304,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
 		return
 	}
+	if !s.acquireStep(w) {
+		return
+	}
+	defer s.releaseStep()
 	if err := c.Observe(body.Activated); err != nil {
 		writeErr(w, http.StatusConflict, err)
 		return
@@ -241,6 +328,10 @@ func (s *Server) handleStep(w http.ResponseWriter, r *http.Request) {
 	if c == nil {
 		return
 	}
+	if !s.acquireStep(w) {
+		return
+	}
+	defer s.releaseStep()
 	u, stop, activated, err := c.Step()
 	if err != nil {
 		if c.Simulate {
@@ -278,6 +369,10 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
 		return
 	}
+	if !s.acquireStep(w) {
+		return
+	}
+	defer s.releaseStep()
 	info, err := c.Mutate(req.Inserts, req.Deletes, req.ChurnPct, req.ChurnSeed)
 	if err != nil {
 		writeErr(w, http.StatusConflict, err)
@@ -315,7 +410,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if !filepath.IsAbs(file) && s.ckptDir != "" {
 		file = filepath.Join(s.ckptDir, file)
 	}
-	c, err := s.reg.RestoreCampaign(file)
+	c, info, err := s.reg.RestoreCampaign(file)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -341,7 +436,12 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, c.Status())
+	// Flatten Status and RestoreInfo into one object: clients keep
+	// decoding the usual Status fields, plus restored_from/quarantined.
+	writeJSON(w, http.StatusCreated, struct {
+		Status
+		*RestoreInfo
+	}{c.Status(), info})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -363,6 +463,13 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // `repro serve` calls it on SIGTERM so an in-flight campaign survives a
 // restart: the client restores from the drain checkpoint and continues
 // bit-identically. Returns the checkpointed files and the first error.
+//
+// The sweep is time-bounded (SetDrainTimeout): each campaign gets an
+// equal share of the remaining budget, so one wedged campaign — stuck
+// mid-step holding its mutex — delays but never blocks the shutdown of
+// the rest. A campaign that misses its deadline is logged and abandoned
+// (its goroutine finishes or dies with the process; the last durable
+// checkpoint on disk is what survives either way).
 func (s *Server) Drain() ([]string, error) {
 	s.mu.Lock()
 	s.draining = true
@@ -374,17 +481,49 @@ func (s *Server) Drain() ([]string, error) {
 	s.mu.Unlock()
 	sort.Slice(open, func(a, b int) bool { return open[a].ID < open[b].ID })
 
+	deadline := time.Now().Add(s.drainTimeout)
 	var files []string
 	var firstErr error
-	for _, c := range open {
-		if s.ckptDir != "" {
-			if file, err := c.Checkpoint(s.ckptDir); err == nil {
-				files = append(files, file)
-			} else if firstErr == nil {
-				firstErr = fmt.Errorf("service: drain checkpoint of %s: %w", c.ID, err)
-			}
+	keep := func(err error) {
+		if firstErr == nil {
+			firstErr = err
 		}
-		c.Close()
+	}
+	for i, c := range open {
+		// Fair share of what's left: a fast campaign donates its leftover
+		// budget to the ones behind it.
+		budget := time.Until(deadline) / time.Duration(len(open)-i)
+		if budget <= 0 {
+			keep(fmt.Errorf("service: drain deadline exhausted before campaign %s", c.ID))
+			s.logf("drain: deadline exhausted; campaign %s not checkpointed", c.ID)
+			continue
+		}
+		type outcome struct {
+			file string
+			err  error
+		}
+		done := make(chan outcome, 1)
+		go func(c *Campaign) {
+			var o outcome
+			if s.ckptDir != "" && !c.Failed() {
+				o.file, o.err = c.Checkpoint(s.ckptDir)
+			}
+			c.Close()
+			done <- o
+		}(c)
+		select {
+		case o := <-done:
+			switch {
+			case o.err != nil:
+				keep(fmt.Errorf("service: drain checkpoint of %s: %w", c.ID, o.err))
+				s.logf("drain: campaign %s failed to checkpoint: %v", c.ID, o.err)
+			case o.file != "":
+				files = append(files, o.file)
+			}
+		case <-time.After(budget):
+			keep(fmt.Errorf("service: drain of %s exceeded its %v deadline", c.ID, budget.Round(time.Millisecond)))
+			s.logf("drain: campaign %s wedged (deadline %v); abandoning it", c.ID, budget.Round(time.Millisecond))
+		}
 	}
 	return files, firstErr
 }

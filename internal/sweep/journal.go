@@ -1,12 +1,14 @@
 package sweep
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
+	"sync"
+
+	"repro/internal/fault"
 )
 
 // The journal is the sweep's crash-safety mechanism: an append-only JSONL
@@ -41,10 +43,19 @@ const (
 )
 
 // Journal appends records to a JSONL file, one fsynced line per record.
+// It tracks the byte offset of the last acknowledged record so a failed
+// append — including a torn write that persisted a prefix of the line —
+// can be rolled back with a truncate and retried on a clean boundary.
 type Journal struct {
-	f  *os.File
-	bw *bufio.Writer
+	mu  sync.Mutex
+	f   *os.File
+	off int64 // end of the last durable record
 }
+
+// appendRetry bounds the retry loop absorbing transient append failures
+// (stalled fsync, injected faults). A var so tests can shrink the
+// backoff.
+var appendRetry = fault.WritePolicy
 
 // OpenJournal opens path for appending, creating it if needed.
 func OpenJournal(path string) (*Journal, error) {
@@ -52,36 +63,58 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Journal{f: f, bw: bufio.NewWriter(f)}, nil
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, off: st.Size()}, nil
 }
 
-func newWriter(f *os.File) *bufio.Writer { return bufio.NewWriter(f) }
-
 // Append writes one record as a JSON line and forces it to disk before
-// returning, so every acknowledged record survives a crash.
+// returning, so every acknowledged record survives a crash. Transient
+// write failures are retried with backoff; before each retry the file is
+// truncated back to the last acknowledged record, so a torn write can
+// never merge with the next line into one corrupt record.
 func (j *Journal) Append(rec *Record) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
-	if _, err := j.bw.Write(data); err != nil {
-		return err
-	}
-	if err := j.bw.WriteByte('\n'); err != nil {
-		return err
-	}
-	if err := j.bw.Flush(); err != nil {
-		return err
-	}
-	return j.f.Sync()
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return appendRetry.Retry(func() error {
+		if err := j.writeDurable(data); err != nil {
+			// Roll partial bytes back to the last good boundary. The seek
+			// matters for non-O_APPEND descriptors (CreateJournal's): a
+			// truncate alone leaves the write position past the cut, and
+			// the next write would punch a hole of zero bytes.
+			if terr := j.f.Truncate(j.off); terr != nil {
+				return fmt.Errorf("%w (and rollback truncate failed: %v)", err, terr)
+			}
+			if _, serr := j.f.Seek(j.off, 0); serr != nil {
+				return fmt.Errorf("%w (and rollback seek failed: %v)", err, serr)
+			}
+			return err
+		}
+		return nil
+	})
 }
 
-// Close flushes and closes the underlying file.
-func (j *Journal) Close() error {
-	if err := j.bw.Flush(); err != nil {
-		j.f.Close()
+func (j *Journal) writeDurable(data []byte) error {
+	if _, err := fault.Write(fault.SiteJournalAppend, j.f, data); err != nil {
 		return err
 	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.off += int64(len(data))
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
 	return j.f.Close()
 }
 

@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// fastRetry shrinks the append backoff for the duration of a test.
+func fastRetry(t *testing.T) {
+	t.Helper()
+	prev := appendRetry
+	appendRetry = fault.Policy{Attempts: 4, Base: time.Microsecond, Cap: 10 * time.Microsecond}
+	t.Cleanup(func() { appendRetry = prev })
+}
+
+func withInjector(t *testing.T, inj *fault.Injector) {
+	t.Helper()
+	prev := fault.Enable(inj)
+	t.Cleanup(func() { fault.Enable(prev) })
+}
+
+// A torn append must be rolled back and retried: after Append returns
+// nil, the journal on disk holds exactly the acknowledged records with no
+// fragment of the torn attempt in between.
+func TestJournalAppendRollsBackTornWrite(t *testing.T) {
+	fastRetry(t)
+	path := filepath.Join(t.TempDir(), "SWEEP_faulty.jsonl")
+	spec := &Spec{Datasets: []string{"nethept-s"}, Models: []string{"ic"},
+		CostSettings: []string{"uniform"}, Algos: []string{"addatp"}}
+	spec.SetDefaults()
+	j, err := CreateJournal(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// Fire a torn write on the very next append; the retry is a fresh
+	// hit and goes through clean.
+	withInjector(t, fault.New(3, fault.Rule{Site: fault.SiteJournalAppend, Mode: fault.ModeTorn, Nth: 1}))
+	if err := j.Append(&Record{Type: recordCell, Key: "k1", Err: "x"}); err != nil {
+		t.Fatalf("append under torn fault: %v", err)
+	}
+	fault.Disable()
+	if err := j.Append(&Record{Type: recordCell, Key: "k2", Err: "y"}); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := ReadJournal(path)
+	if err != nil {
+		t.Fatalf("journal unparseable after masked torn write: %v", err)
+	}
+	if len(records) != 3 || records[1].Key != "k1" || records[2].Key != "k2" {
+		t.Fatalf("records = %+v", records)
+	}
+	// Byte-level check: no torn fragment survived anywhere in the file.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, tail, err := parseJournalStrict(data); err != nil || tail != len(data) {
+		t.Fatalf("journal bytes not a clean record sequence (valid %d of %d): %v", tail, len(data), err)
+	}
+}
+
+// parseJournalStrict is parseJournal without torn-tail forgiveness, for
+// asserting a file is a clean sequence of complete records.
+func parseJournalStrict(data []byte) ([]Record, int, error) {
+	records, valid, err := parseJournal(data)
+	if err != nil {
+		return nil, valid, err
+	}
+	if valid != len(data) {
+		return records, valid, errors.New("trailing torn bytes")
+	}
+	return records, valid, nil
+}
+
+// When every attempt fails, Append surfaces the injected error and the
+// file still ends at the last acknowledged record.
+func TestJournalAppendExhaustedRetriesLeaveCleanTail(t *testing.T) {
+	fastRetry(t)
+	path := filepath.Join(t.TempDir(), "SWEEP_dead.jsonl")
+	spec := &Spec{Datasets: []string{"nethept-s"}, Models: []string{"ic"},
+		CostSettings: []string{"uniform"}, Algos: []string{"addatp"}}
+	spec.SetDefaults()
+	j, err := CreateJournal(path, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withInjector(t, fault.New(1, fault.Rule{Site: fault.SiteJournalAppend, Mode: fault.ModeTorn, Every: 1}))
+	err = j.Append(&Record{Type: recordCell, Key: "k1", Err: "x"})
+	var fe *fault.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("append under persistent fault = %v, want injected error", err)
+	}
+	fault.Disable()
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("failed append left %d bytes (want the original %d): %q", len(after), len(before), after)
+	}
+	// The journal remains usable after the fault clears.
+	if err := j.Append(&Record{Type: recordCell, Key: "k2", Err: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := ReadJournal(path)
+	if err != nil || len(records) != 2 || records[1].Key != "k2" {
+		t.Fatalf("post-recovery journal = %+v, %v", records, err)
+	}
+}

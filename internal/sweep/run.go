@@ -205,7 +205,7 @@ func CreateJournal(path string, spec *Spec) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, bw: newWriter(f)}
+	j := &Journal{f: f}
 	if err := j.Append(&Record{Type: recordSpec, Version: JournalVersion, Spec: spec}); err != nil {
 		j.Close()
 		return nil, err
