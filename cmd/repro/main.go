@@ -8,6 +8,7 @@
 //	repro gen    --dataset nethept-s [--scale 0.1] [--out g.txt]
 //	repro run    --algo addatp --dataset nethept-s --model ic --cost degree-proportional
 //	repro bench  [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
+//	repro rrbench [--dataset nethept-s] [--batch 20000] [--rounds 9] [--out BENCH_rr_throughput.json]
 //	repro sweep  [--datasets all] [--models all] [--churns none,1@2] [--journal SWEEP_x.jsonl] [--resume] [--parallel 4]
 //	repro serve  [--addr 127.0.0.1:8077] [--checkpoint-dir ckpts] [--max-instances 8]
 //	repro report [--out EXPERIMENTS.md] [BENCH_*.json | SWEEP_*.jsonl ...]
@@ -34,6 +35,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "rrbench":
+		err = cmdRRBench(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
 	case "serve":
@@ -60,6 +63,7 @@ subcommands:
   gen     materialize a Table II stand-in dataset (stats to stdout, graph to --out)
   run     execute one algorithm on one dataset/model/cost configuration
   bench   run a single-model grid of algorithms x datasets x costs into a BENCH_*.json
+  rrbench measure raw RR-set throughput (per-draw vs batched, interleaved A/B) into BENCH_rr_throughput.json
   sweep   run a resumable datasets x models x costs x algorithms x churns grid with a JSONL journal
   serve   run the campaign daemon: step-wise adaptive sessions over HTTP with checkpoint/restore
   report  render BENCH_*.json / SWEEP_*.jsonl files into EXPERIMENTS.md (Table II layout)

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// startProfiles starts a pprof CPU profile and/or schedules a heap
+// profile for the enclosing command. The returned stop function is
+// idempotent and safe to both defer (early-error paths) and call
+// explicitly at the natural end of the measured region; it stops the
+// CPU profile and then snapshots the heap (after a GC, so the profile
+// shows live retained memory, not garbage awaiting collection). Profile
+// write failures are reported to stderr rather than failing the
+// command — a finished grid outranks its diagnostics.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				}
+			}
+			if memPath == "" {
+				return
+			}
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		})
+	}, nil
+}

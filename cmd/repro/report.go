@@ -45,14 +45,19 @@ func cmdReport(args []string) error {
 	}
 	sort.Strings(inputs)
 	var benches []*benchOutput
+	var rrDocs []*rrBenchOutput
 	for _, path := range inputs {
-		b, err := readBench(path)
+		b, rr, err := readBench(path)
 		if err != nil {
 			return err
 		}
+		if rr != nil {
+			rrDocs = append(rrDocs, rr)
+			continue
+		}
 		benches = append(benches, b)
 	}
-	md := renderReport(benches, inputs)
+	md := renderReport(benches, rrDocs, inputs)
 	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
 		return err
 	}
@@ -62,28 +67,33 @@ func cmdReport(args []string) error {
 
 // readBench loads one input as a benchOutput, converting sweep journals
 // (detected by a leading spec record, regardless of extension) on the
-// fly.
-func readBench(path string) (*benchOutput, error) {
+// fly. rrbench throughput documents — detected by their variants array —
+// are returned separately; they render as their own section.
+func readBench(path string) (*benchOutput, *rrBenchOutput, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if isJournal(data) {
 		records, err := sweep.ParseJournal(data)
 		if err != nil {
-			return nil, fmt.Errorf("report: %s: %w", path, err)
+			return nil, nil, fmt.Errorf("report: %s: %w", path, err)
 		}
 		b, err := journalToBench(records)
 		if err != nil {
-			return nil, fmt.Errorf("report: %s: %w", path, err)
+			return nil, nil, fmt.Errorf("report: %s: %w", path, err)
 		}
-		return b, nil
+		return b, nil, nil
+	}
+	var rr rrBenchOutput
+	if err := json.Unmarshal(data, &rr); err == nil && len(rr.Variants) > 0 {
+		return nil, &rr, nil
 	}
 	var b benchOutput
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("report: %s: %w", path, err)
+		return nil, nil, fmt.Errorf("report: %s: %w", path, err)
 	}
-	return &b, nil
+	return &b, nil, nil
 }
 
 // isJournal reports whether the file's first line is a sweep spec record.
@@ -136,6 +146,10 @@ type metric struct {
 	title string // section heading, Figures 2–4 style
 	note  string // one-line explanation under the heading
 	cell  func(*resultRow) string
+	// applies, when set, gates the whole table: a metric whose data no
+	// row in the section carries (e.g. counters added after a fixture
+	// was recorded) is omitted instead of rendering a table of dashes.
+	applies func(*reportSection) bool
 }
 
 var reportMetrics = []metric{
@@ -172,6 +186,30 @@ var reportMetrics = []metric{
 				return "—"
 			}
 			return fmt.Sprintf("%.2fM rr/s", r.RRPerSec/1e6)
+		},
+	},
+	{
+		title: "RR traffic model",
+		note: "Bytes of sampler memory traffic behind one examined edge, " +
+			"(4·touches + 17·visits)/touches, from the sampler's exact visit and " +
+			"edge-touch counters (one 16-byte metadata entry and one visited-mask " +
+			"byte per visit, one 4-byte adjacency word per touch). A locality model " +
+			"derived from exact counters, not a hardware measurement; — for cells " +
+			"recorded before the counters existed or that never sample.",
+		applies: func(sec *reportSection) bool {
+			for _, r := range sec.rows {
+				if r.RREdgeTouches > 0 {
+					return true
+				}
+			}
+			return false
+		},
+		cell: func(r *resultRow) string {
+			if r.RREdgeTouches == 0 {
+				return "—"
+			}
+			return fmt.Sprintf("%.1f B/touch",
+				(4*float64(r.RREdgeTouches)+17*float64(r.RRVisits))/float64(r.RREdgeTouches))
 		},
 	},
 	{
@@ -299,7 +337,7 @@ func mergeSections(benches []*benchOutput) []*reportSection {
 }
 
 // renderReport builds the full EXPERIMENTS.md document.
-func renderReport(benches []*benchOutput, inputs []string) string {
+func renderReport(benches []*benchOutput, rrDocs []*rrBenchOutput, inputs []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# EXPERIMENTS\n\n")
 	fmt.Fprintf(&b, "Generated by `repro report` from: %s. Do not edit by hand —\n", strings.Join(inputs, ", "))
@@ -327,6 +365,9 @@ func renderReport(benches []*benchOutput, inputs []string) string {
 		datasets := orderedDatasets(sec.datasets)
 		algos := orderedAlgos(sec.algos)
 		for _, m := range reportMetrics {
+			if m.applies != nil && !m.applies(sec) {
+				continue
+			}
 			fmt.Fprintf(&b, "\n### %s\n\n%s\n", m.title, m.note)
 			for _, cost := range sec.costs {
 				fmt.Fprintf(&b, "\nCost setting: **%s**\n\n", cost)
@@ -359,7 +400,40 @@ func renderReport(benches []*benchOutput, inputs []string) string {
 		}
 	}
 	renderSamplerComparison(&b, benches)
+	renderRRThroughput(&b, rrDocs)
 	return b.String()
+}
+
+// renderRRThroughput emits one section per rrbench document: the raw
+// RR-generation throughput of the kernel × layout matrix, measured by
+// the interleaved A/B protocol (`repro rrbench`), with the counter-based
+// per-set shape statistics alongside. These are the only committed
+// throughput numbers produced by interleaved same-process rounds;
+// cross-process runs on a shared machine drift too much to compare.
+func renderRRThroughput(b *strings.Builder, docs []*rrBenchOutput) {
+	for _, doc := range docs {
+		fmt.Fprintf(b, "\n## RR throughput: %s scale=%g seed=%d\n\n", doc.Dataset, doc.Scale, doc.Seed)
+		fmt.Fprintf(b, "Raw RR-set generation rate per sampler kernel and node numbering\n")
+		fmt.Fprintf(b, "(`repro rrbench`, batch=%d, median of %d interleaved rounds, %d worker(s)).\n",
+			doc.Batch, doc.Rounds, doc.Workers)
+		fmt.Fprintf(b, "Visits/touches are exact sampler counters; B/touch is the traffic model\n")
+		fmt.Fprintf(b, "(4·touches + 17·visits)/touches, not a hardware measurement.\n\n")
+		fmt.Fprintf(b, "| variant | kernel | numbering | median rr/s | visits/set | touches/set | B/touch | max depth |\n")
+		fmt.Fprintf(b, "|---|---|---|---|---|---|---|---|\n")
+		for _, v := range doc.Variants {
+			kernel, numbering := "per-draw", "identity"
+			if v.Batched {
+				kernel = "frontier-batched"
+			}
+			if v.DegreeOrder {
+				numbering = "degree-ordered"
+			}
+			fmt.Fprintf(b, "| %s | %s | %s | %.0f | %.2f | %.2f | %.1f | %d |\n",
+				v.Name, kernel, numbering, v.MedianRRPerSec,
+				v.VisitsPerSet, v.TouchesPerSet, v.BytesPerEdgeTouch, v.MaxDepth)
+		}
+		fmt.Fprintf(b, "\nBatched vs per-draw: **%.2f×**.\n", doc.SpeedupVsA)
+	}
 }
 
 // orderedModels returns model names IC-first, unknown names last.

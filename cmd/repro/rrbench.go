@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/cascade"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/ris"
+	"repro/internal/rng"
+)
+
+// cmdRRBench measures raw RR-set generation throughput with an interleaved
+// A/B protocol: every variant runs one timed round, then the schedule
+// repeats, so slow drift of a shared machine hits all variants equally and
+// the per-variant medians stay comparable. Cross-process benchmark runs on
+// the same box have been observed to swing ±30%; only numbers produced by
+// one interleaved run are worth committing.
+//
+// The four variants span the kernel x layout matrix:
+//
+//	per-draw          the baseline sampler, identity node numbering
+//	batched           frontier-batched kernel + degree-ordered renumbering
+//	batched-identity  frontier-batched kernel, identity numbering
+//	per-draw-ordered  baseline sampler on the renumbered graph
+//
+// Output is a BENCH_rr_throughput.json document with per-round samples,
+// medians, and the traffic model derived from the sampler's visit/edge
+// counters; `repro report` folds it into EXPERIMENTS.md.
+
+// rrVariant names one cell of the kernel x layout matrix.
+type rrVariant struct {
+	Name        string `json:"name"`
+	Batched     bool   `json:"batched"`
+	DegreeOrder bool   `json:"degree_order"`
+}
+
+// rrVariantResult carries one variant's samples and counter-derived stats.
+type rrVariantResult struct {
+	rrVariant
+	RoundsRRPerSec []float64 `json:"rounds_rr_per_sec"`
+	MedianRRPerSec float64   `json:"median_rr_per_sec"`
+	// Per-set shape statistics from the sampler counters (identical across
+	// kernels by distributional equivalence; committed so regressions in
+	// the counters themselves are visible).
+	VisitsPerSet  float64 `json:"visits_per_set"`
+	TouchesPerSet float64 `json:"edge_touches_per_set"`
+	// BytesPerEdgeTouch models the memory traffic behind one examined
+	// edge: 4 arena bytes per touch plus the 16-byte metadata entry and
+	// one visited-mask byte per visited node, amortized over that node's
+	// touches. A traffic model from exact counters, not a hardware
+	// measurement.
+	BytesPerEdgeTouch float64 `json:"bytes_per_edge_touch"`
+	MaxDepth          int     `json:"max_depth"`
+}
+
+// rrBenchOutput is the BENCH_rr_throughput.json document.
+type rrBenchOutput struct {
+	Dataset    string            `json:"dataset"`
+	Scale      float64           `json:"scale"`
+	Model      string            `json:"model"`
+	Batch      int               `json:"batch"`
+	Rounds     int               `json:"rounds"`
+	Workers    int               `json:"workers"`
+	Seed       uint64            `json:"seed"`
+	WallMS     int64             `json:"wall_ms"`
+	Variants   []rrVariantResult `json:"variants"`
+	SpeedupVsA float64           `json:"speedup_batched_vs_per_draw"`
+}
+
+func cmdRRBench(args []string) error {
+	fs := flag.NewFlagSet("rrbench", flag.ExitOnError)
+	dataset := fs.String("dataset", "nethept-s", "Table II stand-in to sample")
+	scale := fs.Float64("scale", 1, "dataset scale factor")
+	batch := fs.Int("batch", 20000, "RR sets per timed round")
+	rounds := fs.Int("rounds", 9, "timed rounds per variant (median reported)")
+	workers := fs.Int("workers", 1, "sampler workers per round")
+	seed := fs.Uint64("seed", 2, "base RNG seed")
+	out := fs.String("out", "BENCH_rr_throughput.json", "output file")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the timed rounds to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the rounds) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *batch <= 0 || *rounds <= 0 {
+		return fmt.Errorf("rrbench: batch and rounds must be positive")
+	}
+
+	spec, err := gen.Lookup(*dataset)
+	if err != nil {
+		return err
+	}
+	variants := []rrVariant{
+		{Name: "per-draw", Batched: false, DegreeOrder: false},
+		{Name: "batched", Batched: true, DegreeOrder: true},
+		{Name: "batched-identity", Batched: true, DegreeOrder: false},
+		{Name: "per-draw-ordered", Batched: false, DegreeOrder: true},
+	}
+
+	// Both numberings of the same logical graph, built once.
+	graphs := make(map[bool]*graph.Graph, 2)
+	for _, ordered := range []bool{false, true} {
+		cfg := spec.Config(*scale)
+		cfg.DegreeOrder = ordered
+		g, err := gen.Generate(cfg)
+		if err != nil {
+			return err
+		}
+		graphs[ordered] = g
+	}
+
+	type lane struct {
+		res    *graph.Residual
+		pool   *ris.SamplerPool
+		col    *ris.Collection
+		parent *rng.RNG
+		result *rrVariantResult
+	}
+	lanes := make([]*lane, len(variants))
+	results := make([]rrVariantResult, len(variants))
+	for i, v := range variants {
+		g := graphs[v.DegreeOrder]
+		pool := ris.NewSamplerPool(cascade.IC)
+		pool.SetBatched(v.Batched)
+		results[i] = rrVariantResult{rrVariant: v}
+		lanes[i] = &lane{
+			res:    graph.NewResidual(g),
+			pool:   pool,
+			col:    ris.NewCollection(g.N()),
+			parent: rng.New(*seed),
+			result: &results[i],
+		}
+	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+
+	start := time.Now()
+	// One untimed warmup round per variant, then the interleaved schedule.
+	for r := -1; r < *rounds; r++ {
+		for i, ln := range lanes {
+			ln.col.Reset()
+			t0 := time.Now()
+			ln.pool.AppendParallel(ln.col, ln.res, ln.parent, *batch, *workers)
+			dt := time.Since(t0)
+			if err := ln.pool.Err(); err != nil {
+				return fmt.Errorf("rrbench: %s: %w", variants[i].Name, err)
+			}
+			if ln.col.Len() != *batch {
+				return fmt.Errorf("rrbench: %s: short generation (%d of %d)", variants[i].Name, ln.col.Len(), *batch)
+			}
+			if r >= 0 {
+				ln.result.RoundsRRPerSec = append(ln.result.RoundsRRPerSec, float64(*batch)/dt.Seconds())
+			}
+		}
+	}
+
+	stopProfiles() // profile covers the rounds, not stats and encoding
+
+	for _, ln := range lanes {
+		sets := float64(*rounds+1) * float64(*batch)
+		visits := float64(ln.pool.Visits())
+		touches := float64(ln.pool.EdgeTouches())
+		ln.result.MedianRRPerSec = median(ln.result.RoundsRRPerSec)
+		ln.result.VisitsPerSet = visits / sets
+		ln.result.TouchesPerSet = touches / sets
+		if touches > 0 {
+			ln.result.BytesPerEdgeTouch = (4*touches + 17*visits) / touches
+		}
+		ln.result.MaxDepth = ln.pool.MaxDepth()
+	}
+
+	doc := rrBenchOutput{
+		Dataset:  *dataset,
+		Scale:    *scale,
+		Model:    "ic",
+		Batch:    *batch,
+		Rounds:   *rounds,
+		Workers:  *workers,
+		Seed:     *seed,
+		WallMS:   time.Since(start).Milliseconds(),
+		Variants: results,
+	}
+	doc.SpeedupVsA = results[1].MedianRRPerSec / results[0].MedianRRPerSec
+
+	if err := writeRRBenchJSON(*out, &doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rrbench: %s batch=%d rounds=%d (%.1fs)\n",
+		*dataset, *batch, *rounds, float64(doc.WallMS)/1000)
+	for _, res := range results {
+		fmt.Fprintf(os.Stderr, "  %-17s %12.0f rr/s  visits/set %.2f  touches/set %.2f  B/touch %.1f\n",
+			res.Name, res.MedianRRPerSec, res.VisitsPerSet, res.TouchesPerSet, res.BytesPerEdgeTouch)
+	}
+	fmt.Fprintf(os.Stderr, "  batched vs per-draw: %.2fx\n", doc.SpeedupVsA)
+	return nil
+}
+
+// writeRRBenchJSON writes the document atomically (temp file + rename),
+// mirroring writeBenchJSON's discipline without its stdout salvage — an
+// rrbench run is cheap to repeat.
+func writeRRBenchJSON(path string, doc *rrBenchOutput) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}

@@ -100,6 +100,15 @@ type RunResult struct {
 	// SamplingNS is the wall time spent inside RR-set generation calls;
 	// RRDrawn/SamplingNS is the run's RR throughput.
 	SamplingNS int64 `json:"sampling_ns"`
+	// RRVisits and RREdgeTouches count node visits and in-edge
+	// examinations inside RR expansion — the sampler's exact work
+	// counters behind the bytes-per-edge-touch traffic model in the
+	// benchmark tables (each visit reads one 16-byte metadata entry and
+	// one visited-mask byte; each touch one 4-byte adjacency word).
+	// Zero for policies that sample outside a pool the run can observe
+	// (nonadaptive one-shot selection) and for exact oracles.
+	RRVisits      int64 `json:"rr_visits"`
+	RREdgeTouches int64 `json:"rr_edge_touches"`
 	// Fallbacks counts rounds where the refinement budget ran out and the
 	// decision fell back to the point estimate (sampling policies only).
 	Fallbacks int `json:"fallbacks"`

@@ -84,7 +84,11 @@ type Report struct {
 	RRReused     int64   `json:"rr_reused"`
 	RRPeakBytes  int64   `json:"rr_peak_bytes"` // max over realizations
 	SamplingNS   int64   `json:"sampling_ns"`   // total across realizations
-	Fallbacks    int     `json:"fallbacks"`
+	// Sampler work counters summed across realizations (see RunResult);
+	// RRVisits and RREdgeTouches feed the traffic model in reports.
+	RRVisits      int64 `json:"rr_visits"`
+	RREdgeTouches int64 `json:"rr_edge_touches"`
+	Fallbacks     int   `json:"fallbacks"`
 	// Stopping-rule telemetry, summed across realizations (see RunResult).
 	Attempts       int    `json:"attempts"`
 	RRBatches      int    `json:"rr_batches"`
@@ -107,6 +111,8 @@ func (rep *Report) Add(run *RunResult) {
 	rep.RRRequested += run.RRRequested
 	rep.RRReused += run.RRReused
 	rep.SamplingNS += run.SamplingNS
+	rep.RRVisits += run.RRVisits
+	rep.RREdgeTouches += run.RREdgeTouches
 	if run.RRPeakBytes > rep.RRPeakBytes {
 		rep.RRPeakBytes = run.RRPeakBytes
 	}

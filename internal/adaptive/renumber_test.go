@@ -1,0 +1,144 @@
+package adaptive
+
+import (
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/cost"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/imm"
+	"repro/internal/rng"
+)
+
+// renumberPair generates the same synthetic WC graph twice, once with the
+// identity numbering and once degree-renumbered. Same gen seed, so the two
+// are the same logical graph in original-space terms.
+func renumberPair(t *testing.T) (id, ren *graph.Graph) {
+	t.Helper()
+	cfg := gen.Config{Model: gen.PrefAttach, N: 250, AvgDeg: 5, Directed: true, Seed: 99}
+	var err error
+	if id, err = gen.Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.DegreeOrder = true
+	if ren, err = gen.Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !ren.Renumbered() || id.Renumbered() {
+		t.Fatalf("expected exactly the second build renumbered")
+	}
+	return id, ren
+}
+
+// toOriginal maps a node slice out of g's internal space.
+func toOriginal(g *graph.Graph, nodes []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, len(nodes))
+	for i, u := range nodes {
+		out[i] = g.OriginalID(u)
+	}
+	return out
+}
+
+// TestIMMRenumberInvariant runs same-seed IMM on the identity and the
+// degree-renumbered build of one graph: the selected seeds must map back
+// to identical original NodeIDs in identical order, with identical
+// certificates — the RR sampler and CELF tie-breaking are exercised
+// end-to-end through the permutation.
+func TestIMMRenumberInvariant(t *testing.T) {
+	id, ren := renumberPair(t)
+	opts := imm.Options{Eps: 0.5, Model: cascade.IC, Seed: 11, Workers: 1}
+	a, err := imm.Select(id, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := imm.Select(ren, 10, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := toOriginal(ren, b.Seeds)
+	if len(got) != len(a.Seeds) {
+		t.Fatalf("seed counts differ: %v vs %v", a.Seeds, got)
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != got[i] {
+			t.Fatalf("seed %d: identity %v, renumbered-mapped %v", i, a.Seeds, got)
+		}
+	}
+	if a.SpreadLower != b.SpreadLower || a.Theta != b.Theta || a.TotalRR != b.TotalRR {
+		t.Fatalf("certificates differ: (%v,%d,%d) vs (%v,%d,%d)",
+			a.SpreadLower, a.Theta, a.TotalRR, b.SpreadLower, b.Theta, b.TotalRR)
+	}
+}
+
+// TestADDATPRenumberInvariant is the round-trip property test of the
+// renumbering contract: a full same-seed ADDATP campaign — same targets,
+// uniform costs, and the same fixed realization, all expressed in
+// original-space terms — must realize identical profits on both
+// numberings, seeding nodes that map back to identical original NodeIDs.
+func TestADDATPRenumberInvariant(t *testing.T) {
+	id, ren := renumberPair(t)
+
+	// Targets: IMM on the identity graph (original space), mapped into
+	// each build's internal space. Uniform costs are permutation-invariant.
+	immRes, err := imm.Select(id, 8, imm.Options{Eps: 0.5, Model: cascade.IC, Seed: 11, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := immRes.Seeds
+	budget := 1.5 * float64(len(targets))
+
+	// One realization, sampled edge-by-edge in original space so both
+	// builds observe the same possible world.
+	var live []graph.Edge
+	cr := rng.New(42)
+	for _, e := range id.Edges() {
+		if cr.Float64() < e.P {
+			live = append(live, graph.Edge{From: e.From, To: e.To})
+		}
+	}
+
+	run := func(g *graph.Graph) *RunResult {
+		t.Helper()
+		tg := make([]graph.NodeID, len(targets))
+		lv := make([]graph.Edge, len(live))
+		for i, u := range targets {
+			tg[i] = g.InternalID(u)
+		}
+		for i, e := range live {
+			lv[i] = graph.Edge{From: g.InternalID(e.From), To: g.InternalID(e.To)}
+		}
+		costs, err := cost.Assign(g, tg, budget, cost.Uniform, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := &Instance{G: g, Model: cascade.IC, Targets: tg, Costs: costs}
+		rz := cascade.FromLiveEdges(g, lv)
+		res, err := Run(inst, NewEnvironment(rz), AlgoADDATP,
+			RunOptions{Sampling: SamplingOptions{Zeta: 0.1, Delta: 0.1, Workers: 1}}, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	a := run(id)
+	b := run(ren)
+	if a.Profit != b.Profit || a.Spread != b.Spread || a.Cost != b.Cost {
+		t.Fatalf("outcomes differ: profit %v/%v spread %d/%d cost %v/%v",
+			a.Profit, b.Profit, a.Spread, b.Spread, a.Cost, b.Cost)
+	}
+	gotA, gotB := a.Seeds, toOriginal(ren, b.Seeds)
+	if len(gotA) != len(gotB) {
+		t.Fatalf("seed counts differ: %v vs %v", gotA, gotB)
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("seed %d: identity %v, renumbered-mapped %v", i, gotA, gotB)
+		}
+	}
+	if a.RRDrawn != b.RRDrawn || a.Rounds != b.Rounds {
+		t.Fatalf("sampling trajectories differ: drawn %d/%d rounds %d/%d",
+			a.RRDrawn, b.RRDrawn, a.Rounds, b.Rounds)
+	}
+}

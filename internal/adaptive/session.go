@@ -469,7 +469,7 @@ func (st *seqStepper) next(s *Session) (graph.NodeID, bool, error) {
 			w := bounds.AnytimeWidth(n, frac, deltaK)
 			cost := s.inst.Costs.Cost(u)
 			profit := clampSpread(frac*float64(nAlive), nAlive) - cost
-			if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
+			if best < 0 || profit > bestProfit || (profit == bestProfit && s.inst.G.Before(u, best)) {
 				best, bestProfit = u, profit
 				bestLower = clampSpread((frac-w)*float64(nAlive), nAlive) - cost
 			}
@@ -517,6 +517,8 @@ func (st *seqStepper) finishInto(r *RunResult) {
 	r.RRReused = st.b.Reused()
 	r.RRPeakBytes = st.b.PeakBytes()
 	r.SamplingNS = st.b.SamplingNS()
+	r.RRVisits = st.b.Visits()
+	r.RREdgeTouches = st.b.EdgeTouches()
 	r.Fallbacks = st.fallbacks
 	r.Attempts = st.attempts
 	r.RRBatches = st.b.Batches()
@@ -637,7 +639,7 @@ func (st *fixedStepper) next(s *Session) (graph.NodeID, bool, error) {
 			frac := float64(st.col.CountContaining(u)) / float64(st.col.Len())
 			est := clampSpread(frac*float64(nAlive), nAlive)
 			profit := est - s.inst.Costs.Cost(u)
-			if best < 0 || profit > bestProfit || (profit == bestProfit && u < best) {
+			if best < 0 || profit > bestProfit || (profit == bestProfit && s.inst.G.Before(u, best)) {
 				best, bestProfit, bestFrac = u, profit, frac
 			}
 			if up := st.reg.upper(frac, nAlive, zeta) - s.inst.Costs.Cost(u); up > maxUpper {
@@ -677,6 +679,8 @@ func (st *fixedStepper) finishInto(r *RunResult) {
 	r.RRReused = st.reused
 	r.RRPeakBytes = st.peakBytes
 	r.SamplingNS = st.samplingNS
+	r.RRVisits = int64(st.pool.Visits())
+	r.RREdgeTouches = int64(st.pool.EdgeTouches())
 	r.Fallbacks = st.fallbacks
 	r.Attempts = st.attempts
 	r.RRBatches = st.batches
@@ -766,7 +770,7 @@ func (st *adgStepper) next(s *Session) (graph.NodeID, bool, error) {
 			spread = st.orc.ExpectedSpread(res, st.query)
 		}
 		p := spread - s.inst.Costs.Cost(u)
-		if p > bestProfit || (p == bestProfit && best >= 0 && u < best) {
+		if p > bestProfit || (p == bestProfit && best >= 0 && s.inst.G.Before(u, best)) {
 			best, bestProfit = u, p
 		}
 	}
@@ -790,6 +794,8 @@ func (st *adgStepper) finishInto(r *RunResult) {
 		r.RRReused = ro.TotalReused()
 		r.RRPeakBytes = ro.PeakRRBytes()
 		r.SamplingNS = ro.SamplingNS()
+		r.RRVisits = ro.TotalVisits()
+		r.RREdgeTouches = ro.TotalEdgeTouches()
 	}
 }
 

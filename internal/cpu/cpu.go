@@ -1,0 +1,30 @@
+// Package cpu exposes the few architecture-specific hints the sampling
+// hot paths want, behind build-tag shims that compile to no-ops on
+// unsupported targets. The only hint today is a non-temporal software
+// prefetch: the frontier-batched RR expander knows the next adjacency
+// run it will read several steps before it reads it, and the data is
+// streamed once per batch window, so PREFETCHNTA (fetch into the
+// nearest cache level without polluting outer levels) is the right
+// flavor.
+//
+// Callers must treat the hint as exactly that — a hint. Correctness can
+// never depend on it, and the no-op fallback means code using this
+// package behaves identically (modulo latency) everywhere.
+package cpu
+
+import "unsafe"
+
+// prefetchable is a marker so callers can pass typed pointers without
+// writing unsafe conversions at every call site.
+type prefetchable interface {
+	~uint32 | ~int32 | ~uint64 | ~int64
+}
+
+// PrefetchSlice hints that the run s[i:] is about to be streamed. It is
+// bounds-checked (out-of-range i is ignored) so speculative hints on
+// not-yet-validated indices are safe.
+func PrefetchSlice[T prefetchable](s []T, i int) {
+	if uint(i) < uint(len(s)) {
+		PrefetchNTA(unsafe.Pointer(&s[i]))
+	}
+}

@@ -1,0 +1,14 @@
+//go:build amd64 && !purego
+
+package cpu
+
+import "unsafe"
+
+// PrefetchNTA hints that the cache line containing p will be read soon
+// and should be fetched with minimal cache pollution (PREFETCHNTA).
+// It is implemented in assembly because Go has no prefetch intrinsic;
+// the call does not inline, so use it sparingly — one hint per
+// adjacency run, not per element.
+//
+//go:noescape
+func PrefetchNTA(p unsafe.Pointer)

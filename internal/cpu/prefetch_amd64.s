@@ -1,0 +1,9 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func PrefetchNTA(p unsafe.Pointer)
+TEXT ·PrefetchNTA(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	PREFETCHNTA (AX)
+	RET

@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package cpu
+
+import "unsafe"
+
+// PrefetchNTA is a no-op on targets without a prefetch shim.
+func PrefetchNTA(p unsafe.Pointer) { _ = p }

@@ -12,9 +12,10 @@ import (
 // edges, and supports the paper's standard weighted-cascade (WC) weighting
 // p(u,v) = 1/indeg(v) applied after all edges are known.
 type Builder struct {
-	n        int32
-	directed bool
-	edges    []Edge
+	n           int32
+	directed    bool
+	degreeOrder bool
+	edges       []Edge
 }
 
 // NewBuilder creates a builder for a graph with n nodes. directed records
@@ -113,6 +114,43 @@ func (b *Builder) ApplyTrivalency(pick func(i int) int) {
 	}
 }
 
+// SetDegreeOrder opts Build into hubs-first node renumbering: internal
+// node IDs are assigned by descending total degree (original ID breaks
+// ties), so the metadata, adjacency and visited-mark lines of the nodes
+// RR sampling touches most often pack into the smallest — hottest —
+// cache footprint. The permutation is stored on the Graph and inverted
+// at the I/O and reporting boundary (Edges, graphio, OriginalID), so all
+// user-visible node IDs, seed sets and golden fixtures are unchanged;
+// adjacency runs stay sorted by original neighbor ID, making same-seed
+// sampling runs bit-identical to the identity numbering (see
+// TestDegreeOrderRoundTrip in the adaptive package).
+func (b *Builder) SetDegreeOrder(on bool) { b.degreeOrder = on }
+
+// degreeOrdering computes the hubs-first permutation over the current
+// edge list: ren maps original->internal, inv internal->original.
+func (b *Builder) degreeOrdering() (ren, inv []NodeID) {
+	deg := make([]int64, b.n)
+	for _, e := range b.edges {
+		deg[e.From]++
+		deg[e.To]++
+	}
+	inv = make([]NodeID, b.n)
+	for i := range inv {
+		inv[i] = NodeID(i)
+	}
+	sort.Slice(inv, func(i, j int) bool {
+		if deg[inv[i]] != deg[inv[j]] {
+			return deg[inv[i]] > deg[inv[j]]
+		}
+		return inv[i] < inv[j]
+	})
+	ren = make([]NodeID, b.n)
+	for internal, orig := range inv {
+		ren[orig] = NodeID(internal)
+	}
+	return ren, inv
+}
+
 // Build produces the immutable CSR graph. The builder remains usable.
 func (b *Builder) Build() *Graph {
 	n := b.n
@@ -128,16 +166,28 @@ func (b *Builder) Build() *Graph {
 		inAdj:    make([]NodeID, m),
 		inP:      make([]float64, m),
 	}
+	if b.degreeOrder && n > 0 {
+		g.ren, g.inv = b.degreeOrdering()
+	}
 
 	// Counting sort into CSR for both directions; deterministic layout:
-	// neighbors sorted by (source, target) for out, (target, source) for in.
+	// nodes keyed by internal ID, neighbors within a run by ORIGINAL ID —
+	// (source, target) for out, (target, source) for in — so a
+	// position-indexed pick lands on the same original neighbor under
+	// either numbering.
 	sorted := make([]Edge, m)
 	copy(sorted, b.edges)
+	if g.ren != nil {
+		for i := range sorted {
+			sorted[i].From = g.ren[sorted[i].From]
+			sorted[i].To = g.ren[sorted[i].To]
+		}
+	}
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].From != sorted[j].From {
 			return sorted[i].From < sorted[j].From
 		}
-		return sorted[i].To < sorted[j].To
+		return g.ordOf(sorted[i].To) < g.ordOf(sorted[j].To)
 	})
 	for _, e := range sorted {
 		g.outIdx[e.From+1]++
@@ -157,7 +207,7 @@ func (b *Builder) Build() *Graph {
 		if sorted[i].To != sorted[j].To {
 			return sorted[i].To < sorted[j].To
 		}
-		return sorted[i].From < sorted[j].From
+		return g.ordOf(sorted[i].From) < g.ordOf(sorted[j].From)
 	})
 	for _, e := range sorted {
 		g.inIdx[e.To+1]++
@@ -173,6 +223,11 @@ func (b *Builder) Build() *Graph {
 		g.inAdj[pos] = e.From
 		g.inP[pos] = e.P
 		cursor[e.To]++
+	}
+	for v := int32(0); v < n; v++ {
+		if d := int32(g.inIdx[v+1] - g.inIdx[v]); d > g.maxInDeg {
+			g.maxInDeg = d
+		}
 	}
 	g.compressInProbs()
 	return g
@@ -232,17 +287,20 @@ func (g *Graph) compressInProbs() {
 		g.inMeta = make([]InMeta, g.n)
 		for v := int32(0); v < g.n; v++ {
 			m := InMeta{
-				Start:  int32(g.inIdx[v]),
-				Deg:    int32(g.inIdx[v+1] - g.inIdx[v]),
-				TabOff: g.inTabOff[v],
+				Start: int32(g.inIdx[v]),
+				Deg:   int32(g.inIdx[v+1] - g.inIdx[v]),
 			}
-			switch {
-			case m.TabOff >= 0:
-				m.Thr0 = g.inTabThr[m.TabOff]
+			switch off := g.inTabOff[v]; {
+			case off >= 0:
+				// Tables are padded to >= 5 entries, so entry 1 always exists.
+				m.Thr0, m.Thr1 = g.inTabThr[off], g.inTabThr[off+1]
 			case m.Deg == 0:
-				m.Thr0 = ^uint32(0) // every clamped draw ends the visit
+				// Every clamped draw ends the visit.
+				m.Thr0, m.Thr1 = ^uint32(0), ^uint32(0)
 			default:
-				m.Thr0 = 0 // certain edges / no table: dedicated expansion
+				// Certain edges / no table: every draw reads as "two or
+				// more" and takes the dedicated expansion.
+				m.Thr0, m.Thr1 = 0, 0
 			}
 			g.inMeta[v] = m
 		}

@@ -82,7 +82,7 @@ func TestTrivalencyKeepsPerEdgeStorage(t *testing.T) {
 	if tab := g.InCountThresholds(2); tab != nil {
 		t.Fatal("count table exists on per-edge storage")
 	}
-	if meta, _, _ := g.InSamplerTables(); meta != nil {
+	if meta, _, _, _ := g.InSamplerTables(); meta != nil {
 		t.Fatal("sampler metadata exists on per-edge storage")
 	}
 	_, ps := g.InNeighbors(2)
@@ -168,7 +168,7 @@ func TestEdgeProbabilityBinarySearch(t *testing.T) {
 
 func TestInMetaConsistent(t *testing.T) {
 	g := wcGraph()
-	meta, arena, thr := g.InSamplerTables()
+	meta, arena, thr, tabOff := g.InSamplerTables()
 	if meta == nil {
 		t.Fatal("no sampler metadata on a small compressed graph")
 	}
@@ -185,16 +185,17 @@ func TestInMetaConsistent(t *testing.T) {
 		}
 		switch {
 		case mv.Deg == 0:
-			if mv.Thr0 != ^uint32(0) {
-				t.Fatalf("zero-degree node %d: Thr0 %#x, want sentinel", v, mv.Thr0)
+			if mv.Thr0 != ^uint32(0) || mv.Thr1 != ^uint32(0) {
+				t.Fatalf("zero-degree node %d: Thr0 %#x Thr1 %#x, want sentinels", v, mv.Thr0, mv.Thr1)
 			}
 		case p >= 1:
-			if mv.TabOff >= 0 || mv.Thr0 != 0 {
-				t.Fatalf("certain-edge node %d: TabOff %d Thr0 %#x, want -1/0", v, mv.TabOff, mv.Thr0)
+			if tabOff[v] >= 0 || mv.Thr0 != 0 || mv.Thr1 != 0 {
+				t.Fatalf("certain-edge node %d: TabOff %d Thr0 %#x Thr1 %#x, want -1/0/0", v, tabOff[v], mv.Thr0, mv.Thr1)
 			}
 		default:
-			if mv.TabOff < 0 || thr[mv.TabOff] != mv.Thr0 {
-				t.Fatalf("node %d: Thr0 cache inconsistent with table", v)
+			off := tabOff[v]
+			if off < 0 || thr[off] != mv.Thr0 || thr[off+1] != mv.Thr1 {
+				t.Fatalf("node %d: Thr0/Thr1 cache inconsistent with table", v)
 			}
 		}
 	}

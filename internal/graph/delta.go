@@ -57,25 +57,38 @@ func (g *Graph) ApplyDelta(inserts, deletes []Edge) (*Graph, *DeltaResult, error
 			return nil, nil, fmt.Errorf("graph: insert (%d,%d) probability %v outside (0,1]", e.From, e.To, e.P)
 		}
 	}
-	type pair struct{ u, v NodeID }
-	delCnt := make(map[pair]int, len(deletes))
 	for _, e := range deletes {
 		if e.From < 0 || e.From >= g.n || e.To < 0 || e.To >= g.n {
 			return nil, nil, fmt.Errorf("graph: delete (%d,%d) out of range [0,%d)", e.From, e.To, g.n)
 		}
+	}
+	// Deltas arrive in ORIGINAL node IDs; fold any degree-ordered
+	// renumbering in up front (after the range checks above, which are
+	// permutation-invariant) so the merge logic below works purely on
+	// internal CSR runs. The result graph carries the same permutation.
+	if g.ren != nil {
+		inserts = remapEdges(inserts, g.ren)
+		deletes = remapEdges(deletes, g.ren)
+	}
+	type pair struct{ u, v NodeID }
+	delCnt := make(map[pair]int, len(deletes))
+	for _, e := range deletes {
 		delCnt[pair{e.From, e.To}]++
 	}
 	// Every delete must consume a distinct existing edge. Out-adjacency is
-	// sorted by target, so the multiplicity check binary-searches.
+	// sorted by original target, so the multiplicity check binary-searches
+	// in that order.
 	for k, cnt := range delCnt {
 		adj, _ := g.OutNeighbors(k.u)
-		lo := sort.Search(len(adj), func(i int) bool { return adj[i] >= k.v })
+		ov := g.ordOf(k.v)
+		lo := sort.Search(len(adj), func(i int) bool { return g.ordOf(adj[i]) >= ov })
 		hi := lo
 		for hi < len(adj) && adj[hi] == k.v {
 			hi++
 		}
 		if hi-lo < cnt {
-			return nil, nil, fmt.Errorf("graph: delete (%d,%d) ×%d exceeds %d existing edge(s)", k.u, k.v, cnt, hi-lo)
+			return nil, nil, fmt.Errorf("graph: delete (%d,%d) ×%d exceeds %d existing edge(s)",
+				g.ordOf(k.u), ov, cnt, hi-lo)
 		}
 	}
 
@@ -86,10 +99,10 @@ func (g *Graph) ApplyDelta(inserts, deletes []Edge) (*Graph, *DeltaResult, error
 		insIn[e.To] = append(insIn[e.To], e)
 	}
 	for _, list := range insOut {
-		sort.Slice(list, func(i, j int) bool { return list[i].To < list[j].To })
+		sort.Slice(list, func(i, j int) bool { return g.ordOf(list[i].To) < g.ordOf(list[j].To) })
 	}
 	for _, list := range insIn {
-		sort.Slice(list, func(i, j int) bool { return list[i].From < list[j].From })
+		sort.Slice(list, func(i, j int) bool { return g.ordOf(list[i].From) < g.ordOf(list[j].From) })
 	}
 	delOut := make(map[NodeID]int)
 	delIn := make(map[NodeID]int)
@@ -140,7 +153,7 @@ func (g *Graph) ApplyDelta(inserts, deletes []Edge) (*Graph, *DeltaResult, error
 						continue
 					}
 				}
-				if j >= len(ins) || (i < len(base) && base[i] <= ins[j].To) {
+				if j >= len(ins) || (i < len(base) && g.ordOf(base[i]) <= g.ordOf(ins[j].To)) {
 					newOutAdj[w] = base[i]
 					newOutP[w] = basep[i]
 					i++
@@ -216,7 +229,7 @@ func (g *Graph) ApplyDelta(inserts, deletes []Edge) (*Graph, *DeltaResult, error
 						continue
 					}
 				}
-				if j >= len(ins) || (i < len(base) && base[i] <= ins[j].From) {
+				if j >= len(ins) || (i < len(base) && g.ordOf(base[i]) <= g.ordOf(ins[j].From)) {
 					newInAdj[w] = base[i]
 					if newInP != nil {
 						if basep != nil {
@@ -244,6 +257,12 @@ func (g *Graph) ApplyDelta(inserts, deletes []Edge) (*Graph, *DeltaResult, error
 		n: g.n, m: newM, directed: g.directed, epoch: g.epoch + 1,
 		outIdx: newOutIdx, outAdj: newOutAdj, outP: newOutP,
 		inIdx: newInIdx, inAdj: newInAdj,
+		ren: g.ren, inv: g.inv,
+	}
+	for v := int32(0); v < ng.n; v++ {
+		if d := int32(ng.inIdx[v+1] - ng.inIdx[v]); d > ng.maxInDeg {
+			ng.maxInDeg = d
+		}
 	}
 	if fast {
 		ng.patchCompressed(g, touchedIn, touchedProb)
@@ -266,6 +285,15 @@ func (g *Graph) ApplyDelta(inserts, deletes []Edge) (*Graph, *DeltaResult, error
 	}
 	sort.Slice(res.Touched, func(i, j int) bool { return res.Touched[i] < res.Touched[j] })
 	return ng, res, nil
+}
+
+// remapEdges maps edge endpoints through a node permutation.
+func remapEdges(edges []Edge, ren []NodeID) []Edge {
+	out := make([]Edge, len(edges))
+	for i, e := range edges {
+		out[i] = Edge{From: ren[e.From], To: ren[e.To], P: e.P}
+	}
+	return out
 }
 
 // touchedNodes returns the sorted union of the two maps' keys.
@@ -380,17 +408,16 @@ func (ng *Graph) patchCompressed(g *Graph, touched []NodeID, touchedProb map[Nod
 		ng.inMeta = make([]InMeta, ng.n)
 		for v := int32(0); v < ng.n; v++ {
 			m := InMeta{
-				Start:  int32(ng.inIdx[v]),
-				Deg:    int32(ng.inIdx[v+1] - ng.inIdx[v]),
-				TabOff: ng.inTabOff[v],
+				Start: int32(ng.inIdx[v]),
+				Deg:   int32(ng.inIdx[v+1] - ng.inIdx[v]),
 			}
-			switch {
-			case m.TabOff >= 0:
-				m.Thr0 = ng.inTabThr[m.TabOff]
+			switch off := ng.inTabOff[v]; {
+			case off >= 0:
+				m.Thr0, m.Thr1 = ng.inTabThr[off], ng.inTabThr[off+1]
 			case m.Deg == 0:
-				m.Thr0 = ^uint32(0)
+				m.Thr0, m.Thr1 = ^uint32(0), ^uint32(0)
 			default:
-				m.Thr0 = 0
+				m.Thr0, m.Thr1 = 0, 0
 			}
 			ng.inMeta[v] = m
 		}

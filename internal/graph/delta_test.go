@@ -67,15 +67,15 @@ func assertGraphsEquivalent(t *testing.T, got, want *Graph) {
 			}
 		}
 	}
-	gm, _, _ := got.InSamplerTables()
-	wm, _, _ := want.InSamplerTables()
+	gm, _, _, goff := got.InSamplerTables()
+	wm, _, _, woff := want.InSamplerTables()
 	if (gm == nil) != (wm == nil) {
 		t.Fatalf("inMeta presence diverges: %v vs %v", gm != nil, wm != nil)
 	}
 	for v := range gm {
 		g, w := gm[v], wm[v]
-		if g.Start != w.Start || g.Deg != w.Deg || g.Thr0 != w.Thr0 || (g.TabOff >= 0) != (w.TabOff >= 0) {
-			t.Fatalf("node %d: InMeta %+v vs %+v", v, g, w)
+		if g != w || (goff[v] >= 0) != (woff[v] >= 0) {
+			t.Fatalf("node %d: InMeta %+v (off %d) vs %+v (off %d)", v, g, goff[v], w, woff[v])
 		}
 	}
 }

@@ -19,6 +19,22 @@
 // a node's successful in-edge count in O(1). Mixed-probability graphs
 // (trivalency) keep the per-edge fallback and the accessor-based API.
 //
+// Node numbering is likewise dual. Builder.SetDegreeOrder opts a build
+// into an internal degree-ordered renumbering: hubs (high total degree)
+// receive the smallest internal IDs, packing the nodes RR expansion
+// revisits most into a dense prefix of the metadata and visited-mask
+// arrays. The permutation is invisible outside the package's internal
+// arrays — OriginalID/InternalID convert at the boundaries, Edges and
+// EdgeProbability speak original IDs, graphio round-trips are
+// byte-identical, and ApplyDelta composes original-space deltas through
+// the base graph's permutation (it deliberately does not re-derive the
+// ordering from post-delta degrees, so sampler scratch and caches stay
+// aligned). The invariance contract is stronger than "same
+// distribution": adjacency runs stay sorted by original neighbor ID,
+// Residual fills its alive list in original-ID order, and algorithms
+// break argmax ties via Graph.Before (original-ID order), so same-seed
+// runs are bit-identical between numberings.
+//
 // Mutation happens only through Builder; once built, a Graph is safe for
 // concurrent readers. Residual graphs (the paper's G_i) are lightweight
 // views provided by the Residual type, which maintains its alive-node
@@ -81,6 +97,24 @@ type Graph struct {
 
 	directed bool
 
+	// Degree-ordered renumbering (Builder.SetDegreeOrder): ren maps an
+	// original (user-visible) node ID to its internal slot, inv is the
+	// inverse. Both nil on identity-numbered graphs, which keeps every
+	// accessor below a branch-plus-no-op. Internally the CSR, the
+	// compressed tables and all sampling run on internal IDs; original
+	// IDs exist only at the I/O and reporting boundary (Edges, graphio,
+	// OriginalID). Adjacency runs stay sorted by ORIGINAL neighbor ID, so
+	// a position-indexed neighbor pick resolves to the same original node
+	// with or without renumbering — what makes same-seed runs on both
+	// numberings bit-identical, not merely distributionally equal.
+	ren []NodeID
+	inv []NodeID
+
+	// maxInDeg caches the largest in-degree, set at Build/ApplyDelta time,
+	// so samplers can pre-size position scratch at bind time in O(1)
+	// instead of scanning the CSR index per bind.
+	maxInDeg int32
+
 	// epoch counts the topology deltas applied since the graph was built:
 	// Builder.Build produces epoch 0 and every ApplyDelta increments it.
 	// Consumers that cache per-topology state (the service instance
@@ -91,19 +125,22 @@ type Graph struct {
 
 // InMeta is the packed per-node reverse-sampling metadata: node v's
 // in-neighbors occupy arena[Start:Start+Deg] of the slice returned by
-// InSamplerTables, and its success-count table starts at thr[TabOff]
-// (TabOff < 0 when v has no table). Thr0 caches the table's first
-// threshold so the most common visit outcome — zero successful in-edges —
-// resolves on this struct alone: it is thr[TabOff] for table nodes, the
-// sentinel for zero-degree nodes (every clamped draw lands below it, so
-// the visit ends immediately), and 0 for table-less nodes so every draw
-// falls through to their dedicated expansion. The 16-byte stride keeps an
-// element inside one cache line and indexing a shift.
+// InSamplerTables. Thr0 and Thr1 cache the first two thresholds of the
+// node's success-count table, so the two most common visit outcomes —
+// zero successful in-edges (draw < Thr0) and exactly one (Thr0 <= draw
+// < Thr1) — resolve on this struct alone, with no table access. For
+// zero-degree nodes both are the sentinel (every clamped draw lands
+// below Thr0, ending the visit immediately); for table-less nodes both
+// are 0, so every draw reads as "two or more" and falls through to
+// their dedicated expansion. Counts of two or more are resolved against
+// the full table, found through the offsets slice InSamplerTables also
+// returns. The 16-byte stride keeps an element inside one cache line
+// and indexing a shift.
 type InMeta struct {
-	Start  int32
-	Deg    int32
-	TabOff int32
-	Thr0   uint32
+	Start int32
+	Deg   int32
+	Thr0  uint32
+	Thr1  uint32
 }
 
 // N returns the number of nodes.
@@ -131,6 +168,62 @@ func (g *Graph) OutDegree(u NodeID) int {
 // InDegree returns the number of edges entering v.
 func (g *Graph) InDegree(v NodeID) int {
 	return int(g.inIdx[v+1] - g.inIdx[v])
+}
+
+// MaxInDegree returns the largest in-degree of any node, cached at build
+// time.
+func (g *Graph) MaxInDegree() int { return int(g.maxInDeg) }
+
+// Renumbered reports whether the graph carries a degree-ordered node
+// permutation (Builder.SetDegreeOrder). When false, internal and original
+// IDs coincide.
+func (g *Graph) Renumbered() bool { return g.ren != nil }
+
+// OriginalID maps an internal node ID back to the user-visible ID it was
+// built from. Identity on graphs without renumbering. Every node ID that
+// leaves the core — seed sets, session output, serialized edges — must
+// pass through here.
+func (g *Graph) OriginalID(v NodeID) NodeID {
+	if g.inv == nil {
+		return v
+	}
+	return g.inv[v]
+}
+
+// InternalID maps a user-visible node ID to its internal slot. Identity
+// on graphs without renumbering. Inputs that arrive in original space —
+// edge deltas, externally chosen targets — pass through here before
+// touching the CSR.
+func (g *Graph) InternalID(v NodeID) NodeID {
+	if g.ren == nil {
+		return v
+	}
+	return g.ren[v]
+}
+
+// Before reports whether internal node a precedes internal node b in
+// original-ID order — the tie-break order every deterministic argmax in
+// the repository uses, so that selections on a renumbered graph resolve
+// ties to the same original node as on the identity numbering.
+func (g *Graph) Before(a, b NodeID) bool {
+	if g.inv == nil {
+		return a < b
+	}
+	return g.inv[a] < g.inv[b]
+}
+
+// OriginalIDs returns the internal->original ID table, or nil when the
+// graph is identity-numbered. Rank sources for selection tie-breaks
+// (ris.GreedyMaxCoverage) take this slice directly so their hot loops
+// skip the per-call branch of OriginalID.
+func (g *Graph) OriginalIDs() []NodeID { return g.inv }
+
+// ordOf is OriginalID for in-package comparators.
+func (g *Graph) ordOf(v NodeID) NodeID {
+	if g.inv == nil {
+		return v
+	}
+	return g.inv[v]
 }
 
 // OutNeighbors returns the targets of edges leaving u and their
@@ -198,37 +291,43 @@ func (g *Graph) InCountThresholds(v NodeID) []uint32 {
 }
 
 // InSamplerTables exposes the packed fast-path arrays for bulk RR
-// samplers: per-node metadata, the shared in-adjacency arena, and the
-// success-count threshold arena. meta is nil when the graph stores
-// per-edge in-probabilities or is too large for int32 adjacency offsets;
-// callers must then use the accessor-based API. All three slices are
-// read-only views of internal storage.
-func (g *Graph) InSamplerTables() (meta []InMeta, arena []NodeID, thr []uint32) {
-	return g.inMeta, g.inAdj, g.inTabThr
+// samplers: per-node metadata, the shared in-adjacency arena, the
+// success-count threshold arena, and the per-node table offsets into it
+// (negative for nodes without a table — the cold complement to the
+// Thr0/Thr1 cache in InMeta, consulted only when a visit draws two or
+// more successes). meta is nil when the graph stores per-edge
+// in-probabilities or is too large for int32 adjacency offsets; callers
+// must then use the accessor-based API. All four slices are read-only
+// views of internal storage.
+func (g *Graph) InSamplerTables() (meta []InMeta, arena []NodeID, thr []uint32, tabOff []int32) {
+	return g.inMeta, g.inAdj, g.inTabThr, g.inTabOff
 }
 
 // Edges returns a copy of all directed edges in deterministic
-// (source-major) order. Intended for tests, serialization and small
-// graphs; it allocates O(M).
+// (source-major) order, in ORIGINAL node IDs — this is the I/O boundary
+// where any internal renumbering is inverted, so serialized edge lists
+// and golden fixtures are independent of the in-memory layout. Intended
+// for tests, serialization and small graphs; it allocates O(M).
 func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
-	for u := int32(0); u < g.n; u++ {
-		adj, ps := g.OutNeighbors(u)
+	for ou := int32(0); ou < g.n; ou++ {
+		adj, ps := g.OutNeighbors(g.InternalID(ou))
 		for i, v := range adj {
-			edges = append(edges, Edge{From: u, To: v, P: ps[i]})
+			edges = append(edges, Edge{From: ou, To: g.ordOf(v), P: ps[i]})
 		}
 	}
 	return edges
 }
 
 // EdgeProbability returns the probability of edge (u, v) and whether the
-// edge exists. Out-adjacency is sorted by target at build time, so the
+// edge exists. u and v are ORIGINAL node IDs (the space Edges returns).
+// Out-adjacency runs are sorted by original target at build time, so the
 // lookup binary-searches in O(log outdeg) instead of scanning. If parallel
 // edges exist, the first (lowest-index) one is returned.
 func (g *Graph) EdgeProbability(u, v NodeID) (float64, bool) {
-	adj, ps := g.OutNeighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	if i < len(adj) && adj[i] == v {
+	adj, ps := g.OutNeighbors(g.InternalID(u))
+	i := sort.Search(len(adj), func(i int) bool { return g.ordOf(adj[i]) >= v })
+	if i < len(adj) && g.ordOf(adj[i]) == v {
 		return ps[i], true
 	}
 	return 0, false
@@ -294,18 +393,35 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
-	// CSR adjacency must be sorted (out by target, in by source): the
-	// binary-searched EdgeProbability and deterministic layouts rely on it.
+	// The renumbering tables, when present, must be mutually inverse
+	// permutations.
+	if (g.ren == nil) != (g.inv == nil) {
+		return fmt.Errorf("graph: renumbering tables half-present")
+	}
+	if g.ren != nil {
+		if len(g.ren) != int(g.n) || len(g.inv) != int(g.n) {
+			return fmt.Errorf("graph: renumbering table length %d/%d, want %d", len(g.ren), len(g.inv), g.n)
+		}
+		for o, v := range g.ren {
+			if v < 0 || v >= g.n || g.inv[v] != NodeID(o) {
+				return fmt.Errorf("graph: renumbering tables not inverse at original %d", o)
+			}
+		}
+	}
+	// CSR adjacency must be sorted by ORIGINAL neighbor ID (out by target,
+	// in by source): the binary-searched EdgeProbability, deterministic
+	// layouts, and the renumbering invariance of position-indexed neighbor
+	// picks all rely on it.
 	for u := int32(0); u < g.n; u++ {
 		adj := g.outAdj[g.outIdx[u]:g.outIdx[u+1]]
 		for i := 1; i < len(adj); i++ {
-			if adj[i-1] > adj[i] {
+			if g.ordOf(adj[i-1]) > g.ordOf(adj[i]) {
 				return fmt.Errorf("graph: out-adjacency of node %d not sorted at %d", u, i)
 			}
 		}
 		srcs := g.inAdj[g.inIdx[u]:g.inIdx[u+1]]
 		for i := 1; i < len(srcs); i++ {
-			if srcs[i-1] > srcs[i] {
+			if g.ordOf(srcs[i-1]) > g.ordOf(srcs[i]) {
 				return fmt.Errorf("graph: in-adjacency of node %d not sorted at %d", u, i)
 			}
 		}

@@ -36,12 +36,17 @@ func NewResidual(g *Graph) *Residual {
 }
 
 // fillAlive resets the alive bookkeeping to "all nodes alive, increasing
-// order".
+// ORIGINAL-ID order". On identity-numbered graphs that is 0..n-1; on a
+// degree-renumbered graph slot i holds the internal ID of original node
+// i, so uniform root draws (alive[Intn(n)]) land on the same original
+// node under either numbering — the root-sampling half of the
+// renumbering invariance contract.
 func (r *Residual) fillAlive() {
 	r.aliveList = r.aliveList[:r.g.N()]
 	for u := range r.aliveList {
-		r.aliveList[u] = NodeID(u)
-		r.pos[u] = int32(u)
+		v := r.g.InternalID(NodeID(u))
+		r.aliveList[u] = v
+		r.pos[v] = int32(u)
 	}
 }
 

@@ -168,6 +168,14 @@ func (o *RIS) ExpectedSpread(res *graph.Residual, seeds []graph.NodeID) float64 
 // SingleSpreads is worker-count-independent.
 func (o *RIS) SetWorkers(n int) { o.workers = n }
 
+// SetBatched opts the oracle's refresh draws into the frontier-batched
+// sampler kernel (ris.SamplerPool.SetBatched). The kernel consumes
+// randomness in a different order, so individual sets change, but the
+// RR-set distribution is identical — estimates move only within
+// sampling noise. Graphs without compressed sampler tables fall back to
+// the per-draw loop transparently.
+func (o *RIS) SetBatched(on bool) { o.b.SetBatched(on) }
+
 // SingleSpreads estimates E[I_{G_i}({u})] for every u in nodes, writing
 // the estimates into out (which must have len(nodes)). It is equivalent
 // to calling ExpectedSpread on each singleton — identical floats — but a
@@ -360,3 +368,8 @@ func (o *RIS) PeakRRBytes() int64 { return o.b.PeakBytes() }
 // SamplingNS returns the wall time spent inside RR generation across all
 // refreshes, in nanoseconds.
 func (o *RIS) SamplingNS() int64 { return o.b.SamplingNS() }
+
+// TotalVisits and TotalEdgeTouches expose the sampler work counters
+// accumulated across refreshes (see ris.Batcher.Visits / EdgeTouches).
+func (o *RIS) TotalVisits() int64      { return o.b.Visits() }
+func (o *RIS) TotalEdgeTouches() int64 { return o.b.EdgeTouches() }

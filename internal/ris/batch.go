@@ -1,0 +1,451 @@
+package ris
+
+import (
+	"math"
+	"unsafe"
+
+	"repro/internal/cpu"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// batchLanes is the number of concurrent RR draws (lanes) one worker
+// expands per window. 8 keeps the lane-visited bitmask one byte per
+// node — on the graphs this kernel targets, small enough to stay
+// L1-resident next to the lane RNG states — while still giving the
+// out-of-order core more independent pop chains than its reorder
+// window holds at once. Wider masks were measured slower: 32 lanes
+// made the bitmask 4x larger than the per-draw loop's []bool visited,
+// and the resulting L1 misses on the dedup probe ate the entire
+// batching win.
+const batchLanes = 8
+
+// batchPrefetchMinNodes gates the software prefetch hints: below this
+// node count the metadata and adjacency arrays fit in L2, where a
+// prefetch instruction costs more than the miss it would hide. Above
+// it, worklist pops chase random metadata lines in L3/DRAM and hinting
+// a few pops ahead overlaps those misses. A variable, not a constant,
+// so equivalence tests can force the prefetch expansion variant on
+// small graphs and check it draws the exact same sets.
+var batchPrefetchMinNodes = 1 << 17
+
+// batchLookahead is how many worklist entries ahead of the current pop
+// the expander hints the per-node metadata line. The worklist is FIFO
+// within a window, so entry head+batchLookahead is the pop that many
+// steps from now; 8 pops (~a few dozen ns) covers a DRAM miss.
+const batchLookahead = 8
+
+// growScratch grows a reusable scratch slice to at least need entries,
+// preserving the first used. Scratch slices are kept at full length and
+// indexed through explicit cursors, so the hot loops run plain indexed
+// stores instead of append's per-element bookkeeping.
+func growScratch[T any](s []T, used, need int) []T {
+	if need <= len(s) {
+		return s
+	}
+	c := 2*len(s) + 64
+	if c < need {
+		c = need
+	}
+	ns := make([]T, c)
+	copy(ns, s[:used])
+	return ns
+}
+
+// lemireFixup finishes Lemire's unbiased bounded draw after the inlined
+// fast path hit the rare small-remainder case (probability bound/2^32).
+// Split out so the hot loops only pay a well-predicted compare; the
+// rejection semantics are exactly rng.Intn's.
+//
+//go:noinline
+func lemireFixup(r *rng.RNG, bound uint32, m uint64) uint64 {
+	threshold := -bound % bound
+	for uint32(m) < threshold {
+		m = uint64(r.Uint32()) * uint64(bound)
+	}
+	return m
+}
+
+// appendBatched draws count RR sets into ck by frontier-batched
+// expansion: up to batchLanes concurrent draws (lanes) share one FIFO
+// worklist held as structure-of-arrays lanes (node and draw-id; BFS
+// depth is implicit — the FIFO expands the window's lanes level by
+// level, so every entry of one segment sits at the same depth and the
+// segment counter is the depth lane, for free), so one sweep over the
+// worklist interleaves every lane's metadata and adjacency reads and
+// the cache misses of B traversals overlap instead of serializing. Each lane draws from its own substream split off the
+// sampler's bound stream (rng.SplitStreams); sets are committed to ck
+// in lane order per window, making the output layout a deterministic
+// function of (bound stream state, count) regardless of timing.
+//
+// The expansion itself is organized to starve the branch predictor of
+// data-dependent work, which — not cache misses — is what serializes
+// the per-draw loop on cache-resident graphs: in the weighted-cascade
+// regime ~3/4 of pops draw a success count of 0 or 1, and the main
+// sweep handles exactly those with conditional-advance stores (compute
+// both outcomes, bump the cursor by 0 or 1) instead of branches. Pops
+// that need more — count >= 2, or the rare tableless shapes — are
+// deferred to a spill list and expanded by a second, branchy pass.
+// Lane draws stay on their own substreams, but the batched path spends
+// them differently than the per-draw loop (every main-sweep pop
+// consumes a count word and a speculative position word), so batched
+// collections match the per-draw distribution — the chi-square and
+// exact-oracle equivalence suites check this — without being
+// bit-identical to any per-draw stream.
+//
+// Only valid when the graph carries compressed in-sampler tables and
+// the model is IC; AppendParallel checks before dispatching. poll, when
+// non-nil, is invoked between windows; a non-nil error aborts with ck
+// holding the completed windows.
+func (s *Sampler) appendBatched(ck *chunk, count int, poll func() error) (int, error) {
+	res := s.res
+	alive := res.AliveList()
+	if len(alive) == 0 {
+		return 0, nil
+	}
+	g := res.Graph()
+	meta, inArena, thr, tabOff := g.InSamplerTables()
+	full := res.FullN()
+	skipAlive := len(alive) == full
+	if len(s.visitedW) < full {
+		s.visitedW = make([]uint8, full)
+	}
+	if len(s.laneRNG) < batchLanes {
+		s.laneRNG = make([]rng.RNG, batchLanes)
+		s.laneLen = make([]int32, batchLanes)
+		s.laneOff = make([]int32, batchLanes+1)
+	}
+	lanes := batchLanes
+	if count < lanes {
+		lanes = count
+	}
+	s.r.SplitStreams(s.laneRNG[:lanes])
+	visited := s.visitedW
+	prefetch := full >= batchPrefetchMinNodes
+	arenaTop := int32(len(inArena) - 1)
+	var posBuf [maxRejectK]int32
+	wlN, wlL := s.wlNode, s.wlLane
+	spH, spU := s.spillH, s.spillU
+	candU, candA := s.candU, s.candA
+	drawn := 0
+	for drawn < count {
+		m := lanes
+		if rest := count - drawn; rest < m {
+			m = rest
+		}
+		if m > len(wlN) {
+			wlN = growScratch(wlN, 0, m)
+			wlL = growScratch(wlL, 0, m)
+		}
+		laneLen := s.laneLen[:batchLanes]
+		wn := 0
+		for l := 0; l < m; l++ {
+			root := alive[s.laneRNG[l].Intn(len(alive))]
+			visited[root] |= 1 << uint(l)
+			laneLen[l] = 1
+			wlN[wn] = root
+			wlL[wn] = uint8(l)
+			wn++
+		}
+		edges := uint64(0)
+		maxD := -1
+		for head := 0; head < wn; {
+			maxD++ // each segment is one BFS level deeper
+			// The main sweep pushes at most one node per pop and spills at
+			// most one record per pop, so sizing both up front keeps every
+			// per-pop capacity check out of the loop.
+			seg := wn
+			if need := seg + (seg - head); need > len(wlN) {
+				wlN = growScratch(wlN, wn, need)
+				wlL = growScratch(wlL, wn, need)
+			}
+			if need := seg - head; need > len(spH) {
+				spH = growScratch(spH, 0, need)
+				spU = growScratch(spU, 0, need)
+				candU = growScratch(candU, 0, need)
+				candA = growScratch(candA, 0, need)
+			}
+			sn := 0
+			h0 := head
+			// Pass A: loads only. Each pop draws its count word, classifies
+			// it from the metadata alone, branch-free — draw < Thr0 is zero
+			// successes (zero-degree nodes hold the sentinel in both fields,
+			// so their clamped draws always land here), Thr0 <= draw < Thr1
+			// is exactly one, and draw >= Thr1 is "two or more, or no
+			// table" (table-less nodes store Thr1 = 0), deferred to the
+			// spill pass — and speculatively resolves the single-success
+			// position: position draw, adjacency read. The candidate lands
+			// in a dense slot indexed by the pop itself, so no store
+			// address or loop bound depends on any of the random loads and
+			// the out-of-order core runs every pop's load chain in
+			// parallel. The speculative words are wasted on non-1 counts
+			// (and the index clamp covers zero-degree nodes, whose Start
+			// can sit at the arena's end), but a wasted multiply beats a
+			// mispredicted branch, and extra substream words never change a
+			// draw's distribution. Visited and aliveness are not consulted
+			// here at all; pass B resolves both.
+			if prefetch {
+				// Cache-spilling variant: pass A stores the gather INDEX
+				// instead of the gathered node and hints three upcoming
+				// random accesses — the spill pass's threshold-table offset,
+				// the adjacency line itself, and (in pass A2 below) the
+				// landed node's visited byte. Each address becomes known a
+				// full sub-pass before its load executes, so DRAM latency
+				// overlaps across pops instead of serializing them.
+				for ; head < seg; head++ {
+					v := wlN[head]
+					l := wlL[head]
+					lr := &s.laneRNG[l]
+					mv := meta[v]
+					u32 := lr.Uint32()
+					if u32 == countSentinel {
+						u32-- // keep the sentinel an unconditional terminator
+					}
+					u64 := uint64(u32)
+					zeroF := uint32((u64 - uint64(mv.Thr0)) >> 63)
+					spF := ((u64 - uint64(mv.Thr1)) >> 63) ^ 1
+					spH[sn] = int32(head)
+					spU[sn] = u32
+					sn += int(spF)
+					// Branch-free spill prefetch: pops headed for the spill
+					// pass (spF = 1) warm their threshold-table offset; the
+					// rest hint the permanently hot zeroth entry, which costs
+					// a cycle and no memory traffic.
+					cpu.PrefetchNTA(unsafe.Pointer(&tabOff[v*graph.NodeID(spF)]))
+					x := lr.Uint32()
+					deg := uint32(mv.Deg)
+					mm := uint64(x) * uint64(deg)
+					if uint32(mm) < deg {
+						mm = lemireFixup(lr, deg, mm)
+					}
+					idx := int32(min(int(mv.Start)+int(mm>>32), int(arenaTop)))
+					candU[head-h0] = graph.NodeID(idx)
+					candA[head-h0] = uint8((zeroF | uint32(spF)) ^ 1)
+					edges++
+					cpu.PrefetchNTA(unsafe.Pointer(&inArena[idx]))
+				}
+				// Pass A2: resolve the prefetched indexes into node IDs and
+				// warm each landed node's visited byte for pass B.
+				for j := 0; j < seg-h0; j++ {
+					u := inArena[candU[j]]
+					candU[j] = u
+					cpu.PrefetchNTA(unsafe.Pointer(&visited[u]))
+				}
+			} else {
+				// Cache-resident variant: the gather is an L1/L2 hit, so the
+				// extra store/load round trip of the split would cost more
+				// than the latency it hides — gather inline.
+				for ; head < seg; head++ {
+					v := wlN[head]
+					l := wlL[head]
+					lr := &s.laneRNG[l]
+					mv := meta[v]
+					u32 := lr.Uint32()
+					if u32 == countSentinel {
+						u32-- // keep the sentinel an unconditional terminator
+					}
+					u64 := uint64(u32)
+					zeroF := uint32((u64 - uint64(mv.Thr0)) >> 63)
+					spF := ((u64 - uint64(mv.Thr1)) >> 63) ^ 1
+					spH[sn] = int32(head)
+					spU[sn] = u32
+					sn += int(spF)
+					x := lr.Uint32()
+					deg := uint32(mv.Deg)
+					mm := uint64(x) * uint64(deg)
+					if uint32(mm) < deg {
+						mm = lemireFixup(lr, deg, mm)
+					}
+					candU[head-h0] = inArena[min(int(mv.Start)+int(mm>>32), int(arenaTop))]
+					candA[head-h0] = uint8((zeroF | uint32(spF)) ^ 1)
+					edges++
+				}
+			}
+			// Pass B: filter the exactly-one candidates into the worklist.
+			// The visited probe — the dedup that makes an RR "set" — lives
+			// only here, against the byte-per-node mask that batchLanes
+			// keeps L1-resident. The loop-carried dependency is the cursor
+			// add behind that L1 load; pass A's version of this probe sat
+			// behind the whole RNG -> metadata -> adjacency chain.
+			for j := 0; j < seg-h0; j++ {
+				u := candU[j]
+				l := wlL[h0+j]
+				vw := visited[u]
+				adv := uint32(candA[j]) & uint32((vw>>l)&1^1)
+				if !skipAlive && adv != 0 && !res.Alive(u) {
+					adv = 0
+				}
+				visited[u] = vw | uint8(adv)<<l
+				wlN[wn] = u
+				wlL[wn] = l
+				laneLen[l] += int32(adv)
+				wn += int(adv)
+			}
+			// Spill pass: the rare pops that need more than one push —
+			// count >= 2, or a shape without a table — expanded with the
+			// same branchy logic as the per-draw loop. Their count word was
+			// already drawn by the main sweep; positions draw fresh here.
+			for i := 0; i < sn; i++ {
+				h := spH[i]
+				v := wlN[h]
+				l := wlL[h]
+				u32 := spU[i]
+				lr := &s.laneRNG[l]
+				bit := uint8(1) << l
+				mv := meta[v]
+				toff := tabOff[v]
+				if toff < 0 {
+					// Rare shapes without a table — expandICUniform's strategy
+					// choice, inlined (the count word is discarded; these nodes
+					// set Thr0 = Thr1 = 0).
+					srcs, p, _ := g.InNeighborsUniform(v)
+					d := len(srcs)
+					if wn+d > len(wlN) {
+						wlN = growScratch(wlN, wn, wn+d)
+						wlL = growScratch(wlL, wn, wn+d)
+					}
+					switch {
+					case d == 0:
+					case p >= 1:
+						edges += uint64(d)
+						for _, u := range srcs {
+							if visited[u]&bit == 0 && (skipAlive || res.Alive(u)) {
+								visited[u] |= bit
+								laneLen[l]++
+								wlN[wn] = u
+								wlL[wn] = l
+								wn++
+							}
+						}
+					case p <= jumpMaxP:
+						inv := 1 / math.Log1p(-p)
+						for pos := lr.GeometricInv(inv, d); pos < d; pos += 1 + lr.GeometricInv(inv, d) {
+							edges++
+							u := srcs[pos]
+							if visited[u]&bit == 0 && (skipAlive || res.Alive(u)) {
+								visited[u] |= bit
+								laneLen[l]++
+								wlN[wn] = u
+								wlL[wn] = l
+								wn++
+							}
+						}
+					default:
+						edges += uint64(d)
+						for _, u := range srcs {
+							if lr.Coin(p) && visited[u]&bit == 0 && (skipAlive || res.Alive(u)) {
+								visited[u] |= bit
+								laneLen[l]++
+								wlN[wn] = u
+								wlL[wn] = l
+								wn++
+							}
+						}
+					}
+					continue
+				}
+				// Re-derive the count from the spilled word (>= 2 by
+				// construction), finishing the heavy tail with the scalar
+				// scan — identical to appendFastIC.
+				t4 := thr[toff+1 : toff+5]
+				u64 := uint64(u32)
+				lt := (u64-uint64(t4[0]))>>63 + (u64-uint64(t4[1]))>>63 +
+					(u64-uint64(t4[2]))>>63 + (u64-uint64(t4[3]))>>63
+				k := 5 - int(lt)
+				if k == 5 { // rare heavy tail: finish with the scalar scan
+					for _, t := range thr[toff+5:] { // stops at the sentinel
+						if u32 < t {
+							break
+						}
+						k++
+					}
+				}
+				if wn+k > len(wlN) {
+					wlN = growScratch(wlN, wn, wn+k)
+					wlL = growScratch(wlL, wn, wn+k)
+				}
+				edges += uint64(k)
+				if k == 2 && mv.Deg > 2 {
+					i := int32(lr.Intn(int(mv.Deg)))
+					j := int32(lr.Intn(int(mv.Deg)))
+					for j == i {
+						j = int32(lr.Intn(int(mv.Deg)))
+					}
+					u := inArena[mv.Start+i]
+					if visited[u]&bit == 0 && (skipAlive || res.Alive(u)) {
+						visited[u] |= bit
+						laneLen[l]++
+						wlN[wn] = u
+						wlL[wn] = l
+						wn++
+					}
+					u = inArena[mv.Start+j]
+					if visited[u]&bit == 0 && (skipAlive || res.Alive(u)) {
+						visited[u] |= bit
+						laneLen[l]++
+						wlN[wn] = u
+						wlL[wn] = l
+						wn++
+					}
+					continue
+				}
+				srcs := inArena[mv.Start : mv.Start+mv.Deg]
+				for _, pos := range s.pickPositions(lr, len(srcs), k, posBuf[:0]) {
+					u := srcs[pos]
+					if visited[u]&bit == 0 && (skipAlive || res.Alive(u)) {
+						visited[u] |= bit
+						laneLen[l]++
+						wlN[wn] = u
+						wlL[wn] = l
+						wn++
+					}
+				}
+			}
+		}
+		// Commit the window in lane order: lens and roots directly (the
+		// first m worklist entries are the roots, in lane order), the set
+		// nodes by a counting scatter of the worklist into the chunk arena.
+		// All lanes of the window are finished, so zeroing a node's whole
+		// visited word clears every lane bit it accumulated.
+		off := s.laneOff[:m+1]
+		off[0] = int32(len(ck.arena))
+		for l := 0; l < m; l++ {
+			off[l+1] = off[l] + laneLen[l]
+			ck.lens = append(ck.lens, laneLen[l])
+			ck.roots = append(ck.roots, wlN[l])
+		}
+		need := int(off[m])
+		if cap(ck.arena) < need {
+			na := make([]graph.NodeID, len(ck.arena), need+need/2)
+			copy(na, ck.arena)
+			ck.arena = na
+		}
+		out := ck.arena[:need]
+		for i := 0; i < wn; i++ {
+			u := wlN[i]
+			l := wlL[i]
+			out[off[l]] = u
+			off[l]++
+			visited[u] = 0
+		}
+		ck.arena = out
+		s.visits += uint64(wn)
+		s.edgeTouches += edges
+		if maxD > s.maxDepth {
+			s.maxDepth = maxD
+		}
+		drawn += m
+		if poll != nil && drawn < count {
+			if err := poll(); err != nil {
+				s.wlNode, s.wlLane = wlN, wlL
+				s.spillH, s.spillU = spH, spU
+				s.candU, s.candA = candU, candA
+				return drawn, err
+			}
+		}
+	}
+	s.wlNode, s.wlLane = wlN, wlL
+	s.spillH, s.spillU = spH, spU
+	s.candU, s.candA = candU, candA
+	return drawn, nil
+}

@@ -12,13 +12,23 @@ import (
 // benchGraph materializes the nethept-s stand-in at paper scale with the
 // weighted-cascade weighting — the workload the paper's experiments (and
 // the README performance table) are measured on.
-func benchGraph(b *testing.B) *graph.Graph {
+func benchGraph(b *testing.B, degreeOrder bool) *graph.Graph {
+	return datasetGraph(b, "nethept-s", degreeOrder)
+}
+
+// datasetGraph materializes any Table II stand-in at paper scale. The
+// larger stand-ins (dblp-s) spill the CPU caches, which is where the
+// frontier-batched kernel and the hub-first layout are designed to win;
+// nethept-s fits in L2 and measures the small-graph regime.
+func datasetGraph(b *testing.B, name string, degreeOrder bool) *graph.Graph {
 	b.Helper()
-	spec, err := gen.Lookup("nethept-s")
+	spec, err := gen.Lookup(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	g, err := gen.Generate(spec.Config(1))
+	cfg := spec.Config(1)
+	cfg.DegreeOrder = degreeOrder
+	g, err := gen.Generate(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -28,7 +38,7 @@ func benchGraph(b *testing.B) *graph.Graph {
 // benchmarkDraw measures single-threaded RR-set draws; the reported
 // rr/s metric is sets per second.
 func benchmarkDraw(b *testing.B, model cascade.Model) {
-	g := benchGraph(b)
+	g := benchGraph(b, false)
 	res := graph.NewResidual(g)
 	s := NewSampler(res, model, rng.New(1))
 	var nodes int64
@@ -47,17 +57,25 @@ func benchmarkDraw(b *testing.B, model cascade.Model) {
 func BenchmarkDrawIC(b *testing.B) { benchmarkDraw(b, cascade.IC) }
 func BenchmarkDrawLT(b *testing.B) { benchmarkDraw(b, cascade.LT) }
 
-// BenchmarkAppendParallel measures one adaptive "attempt": generating a
+// benchmarkAppendParallel measures one adaptive "attempt": generating a
 // batch of RR sets into a collection with GOMAXPROCS workers, the
 // configuration every algorithm in the repo uses. The pre-PR baseline for
 // this workload (a fresh sampler and collection per attempt, per-edge
-// coins) is recorded in the README performance table.
-func BenchmarkAppendParallel(b *testing.B) {
+// coins) is recorded in the README performance table. batched selects
+// the frontier-batched expansion path, degreeOrder the hub-first node
+// renumbering — together they form the bulk configuration of the A/B
+// comparison; the same logical graph is sampled either way.
+func benchmarkAppendParallel(b *testing.B, batched, degreeOrder bool) {
+	benchmarkAppendParallelOn(b, "nethept-s", batched, degreeOrder)
+}
+
+func benchmarkAppendParallelOn(b *testing.B, dataset string, batched, degreeOrder bool) {
 	const batch = 20000
-	g := benchGraph(b)
+	g := datasetGraph(b, dataset, degreeOrder)
 	res := graph.NewResidual(g)
 	parent := rng.New(2)
 	pool := NewSamplerPool(cascade.IC)
+	pool.SetBatched(batched)
 	c := NewCollection(res.FullN())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -69,4 +87,24 @@ func BenchmarkAppendParallel(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*batch/b.Elapsed().Seconds(), "rr/s")
+}
+
+func BenchmarkAppendParallel(b *testing.B)        { benchmarkAppendParallel(b, false, false) }
+func BenchmarkAppendParallelBatched(b *testing.B) { benchmarkAppendParallel(b, true, true) }
+
+// BenchmarkAppendParallelBatchedIdentity isolates the kernel change from
+// the layout change: batched expansion on the identity numbering.
+func BenchmarkAppendParallelBatchedIdentity(b *testing.B) { benchmarkAppendParallel(b, true, false) }
+
+// BenchmarkAppendParallelOrdered isolates the layout change: the per-draw
+// kernel on the degree-renumbered graph.
+func BenchmarkAppendParallelOrdered(b *testing.B) { benchmarkAppendParallel(b, false, true) }
+
+// The dblp-s pair measures the cache-spilling regime (655K nodes, ~27MB of
+// CSR+meta): per-draw baseline vs the full bulk configuration.
+func BenchmarkAppendParallelDBLP(b *testing.B) {
+	benchmarkAppendParallelOn(b, "dblp-s", false, false)
+}
+func BenchmarkAppendParallelDBLPBatched(b *testing.B) {
+	benchmarkAppendParallelOn(b, "dblp-s", true, true)
 }

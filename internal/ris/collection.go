@@ -58,6 +58,12 @@ type Collection struct {
 
 	scratch *Marks // lazily created buffer backing Cov
 
+	// tieOrder, when non-nil, maps internal node IDs to the rank used for
+	// greedy tie-breaking (smaller rank wins). Degree-renumbered graphs set
+	// it to their original-ID permutation so selection ties resolve the
+	// same way under either numbering; nil means rank == node ID.
+	tieOrder []graph.NodeID
+
 	// coverage is the attached incremental containment tracker, if any;
 	// Filter compacts it in lockstep and Reset zeroes it (see tracker.go).
 	coverage *Coverage

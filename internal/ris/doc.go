@@ -33,6 +33,20 @@
 //     draws a whole attempt with zero allocations (asserted by
 //     TestAppendParallelWarmNoAllocs). The adaptive session steppers,
 //     oracle.RIS and imm.Select each own one.
+//   - Frontier-batched kernel (batch.go): SetBatched switches bulk draws
+//     to a kernel expanding 8 lanes (concurrent RR draws) through
+//     structure-of-arrays worklists with a one-byte-per-node lane
+//     bitmask, issuing software prefetch hints (internal/cpu) for the
+//     metadata, adjacency-arena and visited-mask lines of upcoming pops
+//     on graphs too large for L2. The win is memory-level parallelism —
+//     eight independent miss chains where a single BFS is a serial
+//     pointer chase. Randomness is consumed in a different order than
+//     the per-draw loop, so individual sets differ; distributional
+//     equivalence is pinned by the chi-square + exact-oracle suite
+//     (TestBatchedMatchesPerDrawChiSquare, oracle's
+//     TestRISBatchedMatchesExact), and the pool's Visits/EdgeTouches
+//     counters price the kernels' memory traffic for the benchmark
+//     tables (repro rrbench).
 //   - Collection (collection.go): CSR/arena storage — one flat node arena
 //     plus per-set offsets, and a lazily built CSR inverted index — so a
 //     collection is ~4 contiguous allocations regardless of θ. Reset

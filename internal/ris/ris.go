@@ -40,6 +40,30 @@ type Sampler struct {
 	// noFast forces the per-edge reference path even on uniform
 	// in-probability graphs; distributional-equivalence tests set it.
 	noFast bool
+
+	// Frontier-batched expansion state (batch.go): per-lane RNG
+	// substreams, the shared SoA worklist (node and draw-id lanes; BFS
+	// depth is the segment index, tracked as a scalar), the per-node
+	// lane-visited bitmask, and per-lane size scratch. Allocated on
+	// first batched draw and reused across windows and batches.
+	laneRNG  []rng.RNG
+	laneLen  []int32
+	laneOff  []int32
+	visitedW []uint8
+	wlNode   []graph.NodeID
+	wlLane   []uint8
+	spillH   []int32        // worklist indices of pops deferred to the spill pass
+	spillU   []uint32       // their already-drawn count words
+	candU    []graph.NodeID // speculative single-success candidates, dense per pop
+	candA    []uint8        // their accept flags (pre-dedup)
+
+	// Bandwidth accounting, cumulative across draws: visits counts
+	// worklist pops (= nodes added to RR sets), edgeTouches counts
+	// in-adjacency entries actually read. Together they price a draw in
+	// memory traffic (see SamplerPool.Visits / EdgeTouches).
+	visits      uint64
+	edgeTouches uint64
+	maxDepth    int
 }
 
 // NewSampler creates a sampler over res under the given model.
@@ -49,15 +73,27 @@ func NewSampler(res *graph.Residual, model cascade.Model, r *rng.RNG) *Sampler {
 	return s
 }
 
-// bind points the sampler at a residual view and RNG stream, growing the
-// visited scratch when the underlying graph is larger than anything seen
-// before. SamplerPool rebinds its workers this way on every batch, so
-// scratch survives across attempts, rounds, and algorithms.
+// bind points the sampler at a residual view and RNG stream, growing all
+// scratch to its worst case when the underlying graph is larger than
+// anything seen before: visited and touched from the node count, perm
+// from the maximum in-degree (the largest position set pickPositions can
+// spill). Sizing everything here — instead of growing touched/perm ad
+// hoc inside the draw loop — is what makes the warm loop allocation-free
+// from the very first draw. SamplerPool rebinds its workers this way on
+// every batch, so scratch survives across attempts, rounds, and
+// algorithms.
 func (s *Sampler) bind(res *graph.Residual, r *rng.RNG) {
 	s.res = res
 	s.r = r
-	if n := res.FullN(); len(s.visited) < n {
+	n := res.FullN()
+	if len(s.visited) < n {
 		s.visited = make([]bool, n)
+	}
+	if cap(s.touched) < n {
+		s.touched = make([]graph.NodeID, 0, n)
+	}
+	if d := res.Graph().MaxInDegree(); cap(s.perm) < d {
+		s.perm = make([]int32, d)
 	}
 }
 
@@ -103,6 +139,7 @@ func (s *Sampler) drawTouched() (root graph.NodeID, ok bool) {
 	default:
 		s.traverseRef(g)
 	}
+	s.visits += uint64(len(s.touched))
 	// Clear scratch for the next draw.
 	for _, u := range s.touched {
 		s.visited[u] = false
@@ -133,6 +170,7 @@ func (s *Sampler) traverseFastIC(g *graph.Graph) {
 			}
 			if k > 0 {
 				srcs, _, _ := g.InNeighborsUniform(v)
+				s.edgeTouches += uint64(k)
 				if k == 1 {
 					s.pushNode(srcs[s.r.Intn(len(srcs))])
 				} else {
@@ -159,6 +197,7 @@ func (s *Sampler) traverseFastLT(g *graph.Graph) {
 			continue
 		}
 		if idx := s.r.PrefixPick(p, len(srcs)); idx >= 0 {
+			s.edgeTouches++
 			s.pushNode(srcs[idx])
 		}
 	}
@@ -172,6 +211,7 @@ func (s *Sampler) traverseRef(g *graph.Graph) {
 		srcs, ps := g.InNeighbors(v)
 		switch s.model {
 		case cascade.IC:
+			s.edgeTouches += uint64(len(srcs))
 			for i, u := range srcs {
 				if s.r.Coin(ps[i]) {
 					s.pushNode(u)
@@ -182,6 +222,7 @@ func (s *Sampler) traverseRef(g *graph.Graph) {
 			acc := 0.0
 			for i, u := range srcs {
 				acc += ps[i]
+				s.edgeTouches++
 				if x < acc {
 					s.pushNode(u)
 					break
@@ -205,6 +246,7 @@ func (s *Sampler) traverseRef(g *graph.Graph) {
 func (s *Sampler) expandICUniform(srcs []graph.NodeID, p float64) {
 	d := len(srcs)
 	if p >= 1 {
+		s.edgeTouches += uint64(d)
 		for _, u := range srcs {
 			s.pushNode(u)
 		}
@@ -213,10 +255,12 @@ func (s *Sampler) expandICUniform(srcs []graph.NodeID, p float64) {
 	if p <= jumpMaxP {
 		inv := 1 / math.Log1p(-p)
 		for i := s.r.GeometricInv(inv, d); i < d; i += 1 + s.r.GeometricInv(inv, d) {
+			s.edgeTouches++
 			s.pushNode(srcs[i])
 		}
 		return
 	}
+	s.edgeTouches += uint64(d)
 	for _, u := range srcs {
 		if s.r.Coin(p) {
 			s.pushNode(u)
@@ -234,15 +278,17 @@ const maxRejectK = 8
 // independent per-edge coins exactly (exchangeability).
 func (s *Sampler) pushKofD(srcs []graph.NodeID, k int) {
 	var buf [maxRejectK]int32
-	for _, pos := range s.pickPositions(len(srcs), k, buf[:0]) {
+	for _, pos := range s.pickPositions(s.r, len(srcs), k, buf[:0]) {
 		s.pushNode(srcs[pos])
 	}
 }
 
-// pickPositions draws k distinct uniform positions in [0, d), appending
-// to buf when it fits and spilling to the perm scratch otherwise. The
-// returned slice is valid until the next call.
-func (s *Sampler) pickPositions(d, k int, buf []int32) []int32 {
+// pickPositions draws k distinct uniform positions in [0, d) from r,
+// appending to buf when it fits and spilling to the perm scratch
+// otherwise. The returned slice is valid until the next call. r is
+// explicit because batched expansion draws from per-lane substreams
+// rather than the sampler's bound stream.
+func (s *Sampler) pickPositions(r *rng.RNG, d, k int, buf []int32) []int32 {
 	out := buf
 	if k > cap(out) || k >= d {
 		if cap(s.perm) < d {
@@ -256,15 +302,15 @@ func (s *Sampler) pickPositions(d, k int, buf []int32) []int32 {
 			out = append(out, int32(i))
 		}
 	case k == 2: // the overwhelmingly common multi-success count
-		i := int32(s.r.Intn(d))
-		j := int32(s.r.Intn(d))
+		i := int32(r.Intn(d))
+		j := int32(r.Intn(d))
 		for j == i {
-			j = int32(s.r.Intn(d))
+			j = int32(r.Intn(d))
 		}
 		out = append(out, i, j)
 	case k <= maxRejectK:
 		for c := 0; c < k; {
-			i := int32(s.r.Intn(d))
+			i := int32(r.Intn(d))
 			dup := false
 			for j := 0; j < c; j++ {
 				if out[j] == i {
@@ -285,7 +331,7 @@ func (s *Sampler) pickPositions(d, k int, buf []int32) []int32 {
 			perm[i] = int32(i)
 		}
 		for c := 0; c < k; c++ {
-			j := c + s.r.Intn(d-c)
+			j := c + r.Intn(d-c)
 			perm[c], perm[j] = perm[j], perm[c]
 		}
 		out = perm[:k]
@@ -324,8 +370,8 @@ func (s *Sampler) Draw() *RRSet {
 func (s *Sampler) AppendTo(c *Collection, count int) {
 	c.noteRequested(count)
 	c.noteVersion(s.res.Version())
-	if meta, arena, thr := s.res.Graph().InSamplerTables(); meta != nil && !s.noFast && s.model == cascade.IC {
-		s.appendFastIC(c, count, meta, arena, thr)
+	if meta, arena, thr, tabOff := s.res.Graph().InSamplerTables(); meta != nil && !s.noFast && s.model == cascade.IC {
+		s.appendFastIC(c, count, meta, arena, thr, tabOff)
 		return
 	}
 	for i := 0; i < count; i++ {
@@ -343,7 +389,7 @@ func (s *Sampler) AppendTo(c *Collection, count int) {
 // per-visit state read through the packed InSamplerTables metadata — one
 // random load per visit instead of three. It draws from exactly the same
 // distribution as drawTouched.
-func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, inArena []graph.NodeID, thr []uint32) {
+func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, inArena []graph.NodeID, thr []uint32, tabOff []int32) {
 	res := s.res
 	alive := res.AliveList()
 	if len(alive) == 0 {
@@ -380,16 +426,30 @@ func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, in
 			if u32 < mv.Thr0 {
 				continue // zero successes (or zero degree): metadata only
 			}
-			if mv.TabOff < 0 {
+			if u32 < mv.Thr1 {
+				// Exactly one success — like the zero case, resolved on the
+				// metadata alone, no table access. (Table-less nodes store
+				// Thr1 = 0 and can never land here.)
+				s.edgeTouches++
+				u := inArena[mv.Start+int32(r.Intn(int(mv.Deg)))]
+				if !visited[u] && (skipAlive || res.Alive(u)) {
+					visited[u] = true
+					touched = append(touched, u)
+				}
+				continue
+			}
+			toff := tabOff[v]
+			if toff < 0 {
 				// Rare shapes without a table: certain edges, a geometric
 				// jump run, or per-edge coins — expandICUniform's strategy
 				// choice, inlined so the frontier stays a local. (The count
-				// draw above is discarded; these nodes set Thr0 = 0.)
+				// draw above is discarded; these nodes set Thr0 = Thr1 = 0.)
 				srcs, p, _ := g.InNeighborsUniform(v)
 				d := len(srcs)
 				switch {
 				case d == 0:
 				case p >= 1:
+					s.edgeTouches += uint64(d)
 					for _, u := range srcs {
 						if !visited[u] && (skipAlive || res.Alive(u)) {
 							visited[u] = true
@@ -399,6 +459,7 @@ func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, in
 				case p <= jumpMaxP:
 					inv := 1 / math.Log1p(-p)
 					for pos := r.GeometricInv(inv, d); pos < d; pos += 1 + r.GeometricInv(inv, d) {
+						s.edgeTouches++
 						u := srcs[pos]
 						if !visited[u] && (skipAlive || res.Alive(u)) {
 							visited[u] = true
@@ -406,6 +467,7 @@ func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, in
 						}
 					}
 				default:
+					s.edgeTouches += uint64(d)
 					for _, u := range srcs {
 						if r.Coin(p) && !visited[u] && (skipAlive || res.Alive(u)) {
 							visited[u] = true
@@ -415,33 +477,26 @@ func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, in
 				}
 				continue
 			}
-			// At least one success: count k = |{j : u32 >= thr[j]}|. Entries
-			// 1..4 (tables are sentinel-padded to at least five) are
-			// compared branchlessly — the count distribution makes a
+			// Two or more successes: count k = |{j : u32 >= thr[j]}|.
+			// Entries 1..4 (tables are sentinel-padded to at least five)
+			// are compared branchlessly — the count distribution makes a
 			// scanning branch mispredict constantly; the arithmetic compare
 			// (borrow bit of u32-t) costs a fixed ~2 ops per entry instead.
-			t4 := thr[mv.TabOff+1 : mv.TabOff+5]
+			t4 := thr[toff+1 : toff+5]
 			u64 := uint64(u32)
 			lt := (u64-uint64(t4[0]))>>63 + (u64-uint64(t4[1]))>>63 +
 				(u64-uint64(t4[2]))>>63 + (u64-uint64(t4[3]))>>63
 			k := 5 - int(lt)
 			if k == 5 { // rare heavy tail: finish with the scalar scan
-				for _, t := range thr[mv.TabOff+5:] { // stops at the sentinel
+				for _, t := range thr[toff+5:] { // stops at the sentinel
 					if u32 < t {
 						break
 					}
 					k++
 				}
 			}
-			if k == 1 {
-				u := inArena[mv.Start+int32(r.Intn(int(mv.Deg)))]
-				if !visited[u] && (skipAlive || res.Alive(u)) {
-					visited[u] = true
-					touched = append(touched, u)
-				}
-				continue
-			}
 			if k == 2 && mv.Deg > 2 {
+				s.edgeTouches += 2
 				i := int32(r.Intn(int(mv.Deg)))
 				j := int32(r.Intn(int(mv.Deg)))
 				for j == i {
@@ -460,7 +515,8 @@ func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, in
 				continue
 			}
 			srcs := inArena[mv.Start : mv.Start+mv.Deg]
-			for _, pos := range s.pickPositions(len(srcs), k, posBuf[:0]) {
+			s.edgeTouches += uint64(k)
+			for _, pos := range s.pickPositions(r, len(srcs), k, posBuf[:0]) {
 				u := srcs[pos]
 				if !visited[u] && (skipAlive || res.Alive(u)) {
 					visited[u] = true
@@ -468,6 +524,7 @@ func (s *Sampler) appendFastIC(c *Collection, count int, meta []graph.InMeta, in
 				}
 			}
 		}
+		s.visits += uint64(len(touched))
 		for _, u := range touched {
 			visited[u] = false
 		}

@@ -111,6 +111,11 @@ func (b *Batcher) SetReuse(on bool) { b.reuse = on }
 // SamplerPool.SetInterrupt). nil removes it.
 func (b *Batcher) SetInterrupt(f func() error) { b.pool.SetInterrupt(f) }
 
+// SetBatched opts the underlying pool into frontier-batched expansion
+// for bulk draws (see SamplerPool.SetBatched). Bit-identical goldens
+// require the default per-draw path.
+func (b *Batcher) SetBatched(on bool) { b.pool.SetBatched(on) }
+
 // Reset returns the batcher to its freshly constructed state while keeping
 // every warm buffer: the collection's arenas, the coverage tracker's count
 // array, and the pool's per-worker samplers all survive for the next run.
@@ -124,6 +129,7 @@ func (b *Batcher) Reset() {
 		b.col.Reset()
 	}
 	b.pool.SetInterrupt(nil)
+	b.pool.ResetStats()
 	b.drawn, b.requested, b.reused, b.peakBytes, b.samplingNS = 0, 0, 0, 0, 0
 	b.batches = 0
 }
@@ -238,3 +244,11 @@ func (b *Batcher) Reused() int64     { return b.reused }    // sets carried acro
 func (b *Batcher) PeakBytes() int64  { return b.peakBytes } // max Collection.Bytes seen
 func (b *Batcher) SamplingNS() int64 { return b.samplingNS }
 func (b *Batcher) Batches() int      { return b.batches } // generator invocations
+
+// Bandwidth accounting, forwarded from the pool: node visits and
+// in-adjacency entries read across every draw since the last Reset.
+// Together with SamplingNS they yield the bytes/edge-touch measurement
+// in the benchmark tables (each visit loads one 16-byte metadata entry,
+// each edge touch one 4-byte adjacency word).
+func (b *Batcher) Visits() int64      { return int64(b.pool.Visits()) }
+func (b *Batcher) EdgeTouches() int64 { return int64(b.pool.EdgeTouches()) }

@@ -45,7 +45,14 @@ type Row struct {
 	// throughput, the number BENCH files track across PRs.
 	SamplingMS int64   `json:"sampling_ms"`
 	RRPerSec   float64 `json:"rr_per_sec"`
-	Fallbacks  int     `json:"fallbacks"`
+	// RRVisits / RREdgeTouches are the sampler's exact work counters
+	// (node visits and in-edge examinations across all realizations);
+	// together they give the bytes-per-edge-touch traffic model:
+	// (4·touches + 17·visits) / touches. Deterministic for a fixed seed;
+	// zero for exact-oracle and one-shot nonadaptive cells.
+	RRVisits      int64 `json:"rr_visits"`
+	RREdgeTouches int64 `json:"rr_edge_touches"`
+	Fallbacks     int   `json:"fallbacks"`
 	// Stopping-rule telemetry (sampling policies only): which controller
 	// ran, how many certification looks it took, how many RR batches were
 	// actually drawn, and how many rounds certified below the sampling
@@ -210,6 +217,8 @@ func Execute(spec *Spec, p *Prepared, cell Cell, interrupt func() error) (*Row, 
 		RRPeakBytes:       rep.RRPeakBytes,
 		SamplingMS:        rep.SamplingNS / 1e6,
 		RRPerSec:          rrPerSec(rep.RRDrawn, rep.SamplingNS),
+		RRVisits:          rep.RRVisits,
+		RREdgeTouches:     rep.RREdgeTouches,
 		Fallbacks:         rep.Fallbacks,
 		Sampler:           rep.Sampler,
 		Attempts:          rep.Attempts,
