@@ -23,7 +23,9 @@ type genRow struct {
 	MaxOutDeg int     `json:"max_out_deg"`
 	Isolated  int     `json:"isolated"`
 	Out       string  `json:"out,omitempty"`
-	WallMS    int64   `json:"wall_ms"`
+	// WallMS is fractional milliseconds: integer truncation reported 0
+	// for every sub-millisecond generation (all the tiny fixtures).
+	WallMS float64 `json:"wall_ms"`
 }
 
 func cmdGen(args []string) error {
@@ -65,7 +67,7 @@ func cmdGen(args []string) error {
 		MaxOutDeg: stats.MaxOutDeg,
 		Isolated:  stats.Isolated,
 		Out:       *out,
-		WallMS:    time.Since(start).Milliseconds(),
+		WallMS:    wallMS(time.Since(start)),
 	}
 	enc := json.NewEncoder(os.Stdout)
 	if err := enc.Encode(row); err != nil {

@@ -10,13 +10,16 @@
 //	repro bench  [--datasets nethept-s] [--algos all] [--costs all] [--out BENCH_results.json]
 //	repro rrbench [--dataset nethept-s] [--batch 20000] [--rounds 9] [--out BENCH_rr_throughput.json]
 //	repro sweep  [--datasets all] [--models all] [--churns none,1@2] [--journal SWEEP_x.jsonl] [--resume] [--parallel 4]
-//	repro serve  [--addr 127.0.0.1:8077] [--checkpoint-dir ckpts] [--max-instances 8]
+//	repro serve  [--addr 127.0.0.1:8077] [--checkpoint-dir ckpts] [--max-instances 8] [--debug-addr 127.0.0.1:8078]
+//	repro loadbench [--clients 4] [--duration 5s] [--out BENCH_serve_nethept-s.json]
 //	repro report [--out EXPERIMENTS.md] [BENCH_*.json | SWEEP_*.jsonl ...]
 package main
 
 import (
 	"fmt"
+	"math"
 	"os"
+	"time"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -41,6 +44,8 @@ func main() {
 		err = cmdSweep(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "loadbench":
+		err = cmdLoadBench(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
 	case "-h", "--help", "help":
@@ -66,10 +71,27 @@ subcommands:
   rrbench measure raw RR-set throughput (per-draw vs batched, interleaved A/B) into BENCH_rr_throughput.json
   sweep   run a resumable datasets x models x costs x algorithms x churns grid with a JSONL journal
   serve   run the campaign daemon: step-wise adaptive sessions over HTTP with checkpoint/restore
+  loadbench drive an in-process campaign server with closed-loop clients into BENCH_serve_*.json
   report  render BENCH_*.json / SWEEP_*.jsonl files into EXPERIMENTS.md (Table II layout)
 
 run 'repro <subcommand> -h' for flags.
 `)
+}
+
+// wallMS renders a wall-clock duration as fractional milliseconds with
+// microsecond resolution. Durations.Milliseconds() truncates, so every
+// sub-millisecond run — a tiny-fixture gen, a fast rrbench round —
+// reported wall_ms: 0 as if it had been free; any positive duration now
+// reports at least 0.001.
+func wallMS(d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	ms := math.Round(d.Seconds()*1e6) / 1e3
+	if ms < 0.001 {
+		return 0.001
+	}
+	return ms
 }
 
 // buildDataset materializes a stand-in graph at the given scale.

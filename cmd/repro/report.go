@@ -46,18 +46,22 @@ func cmdReport(args []string) error {
 	sort.Strings(inputs)
 	var benches []*benchOutput
 	var rrDocs []*rrBenchOutput
+	var serveDocs []*serveBenchOutput
 	for _, path := range inputs {
-		b, rr, err := readBench(path)
+		b, rr, sv, err := readBench(path)
 		if err != nil {
 			return err
 		}
-		if rr != nil {
+		switch {
+		case rr != nil:
 			rrDocs = append(rrDocs, rr)
-			continue
+		case sv != nil:
+			serveDocs = append(serveDocs, sv)
+		default:
+			benches = append(benches, b)
 		}
-		benches = append(benches, b)
 	}
-	md := renderReport(benches, rrDocs, inputs)
+	md := renderReport(benches, rrDocs, serveDocs, inputs)
 	if err := os.WriteFile(*out, []byte(md), 0o644); err != nil {
 		return err
 	}
@@ -68,32 +72,38 @@ func cmdReport(args []string) error {
 // readBench loads one input as a benchOutput, converting sweep journals
 // (detected by a leading spec record, regardless of extension) on the
 // fly. rrbench throughput documents — detected by their variants array —
-// are returned separately; they render as their own section.
-func readBench(path string) (*benchOutput, *rrBenchOutput, error) {
+// and loadbench serving documents — detected by their kind tag, checked
+// first since their other fields overlap benchOutput's — are returned
+// separately; each renders as its own section.
+func readBench(path string) (*benchOutput, *rrBenchOutput, *serveBenchOutput, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if isJournal(data) {
 		records, err := sweep.ParseJournal(data)
 		if err != nil {
-			return nil, nil, fmt.Errorf("report: %s: %w", path, err)
+			return nil, nil, nil, fmt.Errorf("report: %s: %w", path, err)
 		}
 		b, err := journalToBench(records)
 		if err != nil {
-			return nil, nil, fmt.Errorf("report: %s: %w", path, err)
+			return nil, nil, nil, fmt.Errorf("report: %s: %w", path, err)
 		}
-		return b, nil, nil
+		return b, nil, nil, nil
+	}
+	var sv serveBenchOutput
+	if err := json.Unmarshal(data, &sv); err == nil && sv.Kind == serveBenchKind {
+		return nil, nil, &sv, nil
 	}
 	var rr rrBenchOutput
 	if err := json.Unmarshal(data, &rr); err == nil && len(rr.Variants) > 0 {
-		return nil, &rr, nil
+		return nil, &rr, nil, nil
 	}
 	var b benchOutput
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, nil, fmt.Errorf("report: %s: %w", path, err)
+		return nil, nil, nil, fmt.Errorf("report: %s: %w", path, err)
 	}
-	return &b, nil, nil
+	return &b, nil, nil, nil
 }
 
 // isJournal reports whether the file's first line is a sweep spec record.
@@ -337,7 +347,7 @@ func mergeSections(benches []*benchOutput) []*reportSection {
 }
 
 // renderReport builds the full EXPERIMENTS.md document.
-func renderReport(benches []*benchOutput, rrDocs []*rrBenchOutput, inputs []string) string {
+func renderReport(benches []*benchOutput, rrDocs []*rrBenchOutput, serveDocs []*serveBenchOutput, inputs []string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "# EXPERIMENTS\n\n")
 	fmt.Fprintf(&b, "Generated by `repro report` from: %s. Do not edit by hand —\n", strings.Join(inputs, ", "))
@@ -401,7 +411,29 @@ func renderReport(benches []*benchOutput, rrDocs []*rrBenchOutput, inputs []stri
 	}
 	renderSamplerComparison(&b, benches)
 	renderRRThroughput(&b, rrDocs)
+	renderServeThroughput(&b, serveDocs)
 	return b.String()
+}
+
+// renderServeThroughput emits one section per loadbench document: the
+// closed-loop serving rate and the step-request latency distribution of
+// the in-process campaign server (`repro loadbench`). Machine-dependent,
+// like the RR throughput numbers; committed fixtures track the serving
+// hot path's trajectory, not portable truth.
+func renderServeThroughput(b *strings.Builder, docs []*serveBenchOutput) {
+	for _, doc := range docs {
+		fmt.Fprintf(b, "\n## Serving throughput: %s/%s/%s scale=%g\n\n", doc.Dataset, doc.Model, doc.Cost, doc.Scale)
+		fmt.Fprintf(b, "Closed-loop load against the in-process campaign server (`repro loadbench`):\n")
+		fmt.Fprintf(b, "each client repeatedly creates a campaign, steps it to completion over\n")
+		fmt.Fprintf(b, "HTTP, and deletes it, all on one warm instance. Step latency is the\n")
+		fmt.Fprintf(b, "next-seed decision as the client sees it — selection, simulated feedback,\n")
+		fmt.Fprintf(b, "instrumentation, JSON, loopback sockets.\n\n")
+		fmt.Fprintf(b, "| algo | k | clients | wall | campaigns | campaigns/s | steps/s | step p50 | p95 | p99 |\n")
+		fmt.Fprintf(b, "|---|---|---|---|---|---|---|---|---|---|\n")
+		fmt.Fprintf(b, "| %s | %d | %d | %.1fs | %d | %.1f | %.0f | %.3fms | %.3fms | %.3fms |\n",
+			doc.Algo, doc.K, doc.Clients, doc.WallMS/1000, doc.Campaigns,
+			doc.CampaignsPerSec, doc.StepsPerSec, doc.StepP50MS, doc.StepP95MS, doc.StepP99MS)
+	}
 }
 
 // renderRRThroughput emits one section per rrbench document: the raw

@@ -28,7 +28,7 @@ func sampleBench() *benchOutput {
 }
 
 func TestRenderReportTables(t *testing.T) {
-	md := renderReport([]*benchOutput{sampleBench()}, nil, []string{"BENCH_x.json"})
+	md := renderReport([]*benchOutput{sampleBench()}, nil, nil, []string{"BENCH_x.json"})
 	for _, want := range []string{
 		"# EXPERIMENTS",
 		"## models=IC scale=0.05 seed=1",
@@ -81,7 +81,7 @@ func TestRenderReportTrafficAndThroughput(t *testing.T) {
 		},
 		SpeedupVsA: 1.1,
 	}
-	md := renderReport([]*benchOutput{bench}, []*rrBenchOutput{rr}, []string{"BENCH_x.json", "BENCH_rr.json"})
+	md := renderReport([]*benchOutput{bench}, []*rrBenchOutput{rr}, nil, []string{"BENCH_x.json", "BENCH_rr.json"})
 	for _, want := range []string{
 		"### RR traffic model",
 		"| nethept-s | 8.2 B/touch | — |",
@@ -100,7 +100,7 @@ func TestRenderReportTrafficAndThroughput(t *testing.T) {
 	if err := writeRRBenchJSON(path, rr); err != nil {
 		t.Fatal(err)
 	}
-	b, gotRR, err := readBench(path)
+	b, gotRR, _, err := readBench(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func seqFixedBenches() []*benchOutput {
 }
 
 func TestRenderSamplerComparison(t *testing.T) {
-	md := renderReport(seqFixedBenches(), nil, []string{"BENCH_f.json", "BENCH_s.json"})
+	md := renderReport(seqFixedBenches(), nil, nil, []string{"BENCH_f.json", "BENCH_s.json"})
 	for _, want := range []string{
 		"## models=IC scale=0.1 seed=1 sampler=fixed",
 		"## models=IC scale=0.1 seed=1 sampler=seq",
@@ -191,7 +191,7 @@ func TestRenderSamplerComparison(t *testing.T) {
 		}
 	}
 	// A lone sampler (no counterpart) must not emit the comparison section.
-	md = renderReport(seqFixedBenches()[:1], nil, []string{"BENCH_f.json"})
+	md = renderReport(seqFixedBenches()[:1], nil, nil, []string{"BENCH_f.json"})
 	if strings.Contains(md, "## Sequential vs fixed sampling") {
 		t.Fatal("comparison section rendered without both samplers")
 	}
@@ -199,21 +199,21 @@ func TestRenderSamplerComparison(t *testing.T) {
 	// marked as not directly comparable.
 	div := seqFixedBenches()
 	div[1].Rows[0].Budget = 999
-	md = renderReport(div, nil, []string{"BENCH_f.json", "BENCH_s.json"})
+	md = renderReport(div, nil, nil, []string{"BENCH_f.json", "BENCH_s.json"})
 	if !strings.Contains(md, "· addatp † |") {
 		t.Fatalf("diverging-instance pair not marked:\n%s", md)
 	}
 	// Rows differing in k or reps must not pair up at all.
 	kdiff := seqFixedBenches()
 	kdiff[1].Rows[0].K = 25
-	md = renderReport(kdiff, nil, []string{"BENCH_f.json", "BENCH_s.json"})
+	md = renderReport(kdiff, nil, nil, []string{"BENCH_f.json", "BENCH_s.json"})
 	if strings.Contains(md, "## Sequential vs fixed sampling") {
 		t.Fatal("rows with different k paired as an A/B")
 	}
 	// Pre-telemetry rows (no attempts recorded) degrade to fallbacks-only.
 	old := sampleBench()
 	old.Rows[0].Fallbacks = 7
-	md = renderReport([]*benchOutput{old}, nil, []string{"BENCH_old.json"})
+	md = renderReport([]*benchOutput{old}, nil, nil, []string{"BENCH_old.json"})
 	if !strings.Contains(md, "| nethept-s | 7 fallbacks | — |") {
 		t.Fatalf("pre-telemetry fallback cell missing:\n%s", md)
 	}

@@ -1,11 +1,9 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 	"time"
 
@@ -69,7 +67,7 @@ type rrBenchOutput struct {
 	Rounds     int               `json:"rounds"`
 	Workers    int               `json:"workers"`
 	Seed       uint64            `json:"seed"`
-	WallMS     int64             `json:"wall_ms"`
+	WallMS     float64           `json:"wall_ms"` // fractional ms; committed integer fixtures parse unchanged
 	Variants   []rrVariantResult `json:"variants"`
 	SpeedupVsA float64           `json:"speedup_batched_vs_per_draw"`
 }
@@ -187,7 +185,7 @@ func cmdRRBench(args []string) error {
 		Rounds:   *rounds,
 		Workers:  *workers,
 		Seed:     *seed,
-		WallMS:   time.Since(start).Milliseconds(),
+		WallMS:   wallMS(time.Since(start)),
 		Variants: results,
 	}
 	doc.SpeedupVsA = results[1].MedianRRPerSec / results[0].MedianRRPerSec
@@ -196,7 +194,7 @@ func cmdRRBench(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "rrbench: %s batch=%d rounds=%d (%.1fs)\n",
-		*dataset, *batch, *rounds, float64(doc.WallMS)/1000)
+		*dataset, *batch, *rounds, doc.WallMS/1000)
 	for _, res := range results {
 		fmt.Fprintf(os.Stderr, "  %-17s %12.0f rr/s  visits/set %.2f  touches/set %.2f  B/touch %.1f\n",
 			res.Name, res.MedianRRPerSec, res.VisitsPerSet, res.TouchesPerSet, res.BytesPerEdgeTouch)
@@ -209,25 +207,7 @@ func cmdRRBench(args []string) error {
 // mirroring writeBenchJSON's discipline without its stdout salvage — an
 // rrbench run is cheap to repeat.
 func writeRRBenchJSON(path string, doc *rrBenchOutput) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	enc := json.NewEncoder(tmp)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return writeJSONAtomic(path, doc)
 }
 
 func median(xs []float64) float64 {

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +28,7 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	debugAddr := fs.String("debug-addr", "", "optional second listener for /metrics and /debug/pprof/* (keep it private; empty disables)")
 	ckptDir := fs.String("checkpoint-dir", "", "directory for campaign checkpoints (empty disables checkpoint/drain persistence)")
 	maxInstances := fs.Int("max-instances", 8, "idle prepared instances kept warm before LRU eviction (0 = unlimited)")
 	requestTimeout := fs.Duration("request-timeout", 2*time.Minute, "per-request write deadline (a campaign step on a large instance can be slow)")
@@ -81,6 +83,33 @@ func cmdServe(args []string) error {
 		IdleTimeout:       2 * time.Minute,
 	}
 
+	// The debug listener carries the operational surface — Prometheus
+	// scrape plus the pprof profiles — on its own address, so the campaign
+	// API can face clients while profiling stays private. /metrics is also
+	// on the main mux; pprof is only here. No WriteTimeout: a 30s CPU
+	// profile outlives any sane request deadline by design.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("GET /metrics", srv.Metrics().Reg.Handler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "repro serve: debug listener on %s (/metrics, /debug/pprof/)\n", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "repro serve: debug listener: %v\n", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
 	defer stop()
 
@@ -104,6 +133,9 @@ func cmdServe(args []string) error {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "repro serve: shutdown: %v\n", err)
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Close() // nothing stateful behind it; no need to drain
 	}
 	files, err := srv.Drain()
 	for _, f := range files {

@@ -210,6 +210,28 @@ func (inj *Injector) tornLen(n int) int {
 
 var active atomic.Pointer[Injector]
 
+// observer, when set, is notified after every injection that fires —
+// the bridge a metrics layer uses to count faults without the fault
+// plane importing it. Called outside the injector mutex, possibly from
+// many goroutines; the callback must be cheap and re-entrant.
+var observer atomic.Pointer[func(site string)]
+
+// SetObserver installs (or, with nil, removes) the fired-fault callback.
+func SetObserver(f func(site string)) {
+	if f == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&f)
+}
+
+// notifyFired reports one fired injection to the observer, if any.
+func notifyFired(site string) {
+	if p := observer.Load(); p != nil {
+		(*p)(site)
+	}
+}
+
 // Enable installs inj as the process-wide injector and returns the
 // previous one (nil if none). Tests pair it with Disable.
 func Enable(inj *Injector) *Injector {
@@ -236,6 +258,7 @@ func Check(site string) error {
 	if !fire {
 		return nil
 	}
+	notifyFired(site)
 	switch rule.Mode {
 	case ModePanic:
 		panic(&Error{Site: site, Mode: ModePanic, Hit: n})
@@ -262,6 +285,7 @@ func Write(site string, w io.Writer, data []byte) (int, error) {
 	if !fire {
 		return w.Write(data)
 	}
+	notifyFired(site)
 	switch rule.Mode {
 	case ModePanic:
 		panic(&Error{Site: site, Mode: ModePanic, Hit: n})

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE lines, then one
+// sample line per child — histograms expand into cumulative _bucket
+// lines (le-labeled, ending at +Inf), _sum, and _count. Families render
+// sorted by name, children by label values, so consecutive scrapes of a
+// quiet process are byte-identical.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	gathers := append([]func(){}, r.gathers...)
+	fams := append([]*family{}, r.order...)
+	r.mu.Unlock()
+	for _, g := range gathers {
+		g()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue // labeled family no one resolved yet
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.kind))
+		bw.WriteByte('\n')
+		for _, ch := range children {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, f.labels, ch.values, "", "", formatInt(ch.c.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, f.labels, ch.values, "", "", formatInt(ch.g.Value()))
+			case kindHistogram:
+				buckets, count, sum := ch.h.snapshot()
+				var cum int64
+				for i, bound := range ch.h.bounds {
+					cum += buckets[i]
+					writeSample(bw, f.name+"_bucket", f.labels, ch.values,
+						"le", formatFloat(bound), formatInt(cum))
+				}
+				writeSample(bw, f.name+"_bucket", f.labels, ch.values, "le", "+Inf", formatInt(count))
+				writeSample(bw, f.name+"_sum", f.labels, ch.values, "", "", formatFloat(sum))
+				writeSample(bw, f.name+"_count", f.labels, ch.values, "", "", formatInt(count))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line; extraName/extraValue
+// append a synthetic label (histograms' le) after the family labels.
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraValue, value string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteString(",")
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				bw.WriteString(",")
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(extraValue)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline only (quotes
+// are legal there).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// Handler returns the GET /metrics endpoint over this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

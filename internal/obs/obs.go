@@ -1,0 +1,351 @@
+// Package obs is the dependency-free metrics core behind the serving
+// stack's observability: atomic counters, gauges, and fixed-bucket
+// latency histograms, optionally grouped into labeled families, gathered
+// by a Registry that renders the Prometheus text exposition format.
+//
+// The design constraint is the campaign daemon's steady-state step loop,
+// which is allocation-free end to end (CI-asserted): every mutation —
+// Counter.Add, Gauge.Set, Histogram.Observe — is a handful of atomic
+// operations and never allocates. Label resolution (Vec.With) allocates
+// a map key on first use, so hot paths resolve their handles once at
+// setup and hold them. Scrape-time work (sorting families, cumulating
+// histogram buckets) happens on the scraping goroutine only.
+//
+// Gauges whose truth lives elsewhere (registry occupancy, campaign
+// states) are refreshed lazily: OnGather callbacks run at the start of
+// every WritePrometheus, so the owner snapshots its state into plain
+// gauges instead of threading bookkeeping through every transition.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is usable,
+// but counters are normally created through Registry so they render.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by d. Negative deltas are a programming
+// error; they are clamped to zero to keep the series monotone.
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer-valued level (queue depth, entry count).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by d (negative allowed).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefBuckets is the default latency bucket layout, in seconds: half a
+// millisecond through ten seconds, roughly 2.5× apart — wide enough for
+// a sub-millisecond warm step and a multi-second cold prepare to land in
+// interior buckets of the same histogram.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into fixed buckets (cumulative at render
+// time, per-bucket internally) and tracks their sum. Observe is
+// lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram buckets must ascend strictly, got %v", buckets))
+		}
+	}
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value (same unit as the bucket bounds; latency
+// histograms use seconds).
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is >= v; all of them missing means
+	// the +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket where the q-th observation falls — a conservative
+// (round-up) estimate, which is what a backpressure hint wants. With no
+// observations it returns 0; observations beyond the last finite bucket
+// resolve to the last finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns the per-bucket counts, total, and sum, each bucket
+// read once (the numbers may straddle concurrent observations; each
+// value is individually consistent, which is all the text format needs —
+// bucket monotonicity is restored by cumulating below).
+func (h *Histogram) snapshot() (buckets []int64, count int64, sum float64) {
+	buckets = make([]int64, len(h.counts))
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+	}
+	// Derive the total from the buckets themselves so `_count` always
+	// equals the +Inf cumulative bucket, even mid-scrape.
+	for _, b := range buckets {
+		count += b
+	}
+	return buckets, count, h.Sum()
+}
+
+// metricKind is the TYPE line a family renders.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// child is one (label values → metric) cell of a family.
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family is one named metric with its labeled children (a single
+// unlabeled child for plain metrics).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+func (f *family) child(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s takes %d label value(s), got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch, ok := f.children[key]
+	if !ok {
+		ch = &child{values: append([]string(nil), values...)}
+		switch f.kind {
+		case kindCounter:
+			ch.c = new(Counter)
+		case kindGauge:
+			ch.g = new(Gauge)
+		case kindHistogram:
+			ch.h = newHistogram(f.buckets)
+		}
+		f.children[key] = ch
+	}
+	return ch
+}
+
+// sortedChildren snapshots the children in deterministic label order.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	out := make([]*child, 0, len(f.children))
+	for _, ch := range f.children {
+		out = append(out, ch)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].values, out[j].values
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With resolves the counter for the given label values, creating it on
+// first use. Resolution allocates; hot paths hold the returned handle.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).c }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ f *family }
+
+// With resolves the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).g }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With resolves the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).h }
+
+// Registry gathers metric families and renders them. Registration
+// panics on an invalid or duplicate name — both are programming errors
+// caught by the first scrape of any test.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+	gathers  []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// OnGather registers a callback run at the start of every
+// WritePrometheus, before any family renders — the hook for owners whose
+// gauges snapshot external state (registry occupancy, campaign states).
+// Callbacks must not call back into WritePrometheus.
+func (r *Registry) OnGather(f func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gathers = append(r.gathers, f)
+}
+
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l) || l == "le" {
+			panic(fmt.Sprintf("obs: invalid label name %q on %s", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]*child),
+	}
+	r.families[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// Counter registers a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).child(nil).c
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge registers a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).child(nil).g
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// Histogram registers a plain histogram; nil buckets means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, kindHistogram, nil, buckets).child(nil).h
+}
+
+// HistogramVec registers a labeled histogram family; nil buckets means
+// DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// validName checks the Prometheus metric/label name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* without pulling in regexp.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests served.")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // clamped: counters never move backwards
+	g := r.Gauge("test_depth", "Queue depth.")
+	g.Set(7)
+	g.Dec()
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP test_requests_total Requests served.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 4\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 6\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_requests_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestLabelEscapingAndOrdering(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_labeled_total", `Help with backslash \ inside.`, "route", "verdict")
+	v.With(`p\q`, `say "hi"`).Add(2)
+	v.With("a", "line\nbreak").Inc()
+
+	out := render(t, r)
+	for _, want := range []string{
+		`# HELP test_labeled_total Help with backslash \\ inside.` + "\n",
+		`test_labeled_total{route="p\\q",verdict="say \"hi\""} 2` + "\n",
+		`test_labeled_total{route="a",verdict="line\nbreak"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Children sorted by label values: "a" before "p\q".
+	if strings.Index(out, `route="a"`) > strings.Index(out, `route="p\\q"`) {
+		t.Errorf("children not sorted by label values:\n%s", out)
+	}
+}
+
+// TestHistogramExpositionInvariants checks the format contract scrapers
+// rely on: cumulative buckets are monotone nondecreasing, the +Inf
+// bucket equals _count, and _sum matches the observations.
+func TestHistogramExpositionInvariants(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.5, 1, 5})
+	obs := []float64{0.05, 0.3, 0.3, 0.7, 2, 100} // last lands in +Inf
+	var sum float64
+	for _, v := range obs {
+		h.Observe(v)
+		sum += v
+	}
+
+	out := render(t, r)
+	if !strings.Contains(out, "# TYPE test_latency_seconds histogram\n") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	var bounds []string
+	var cums []int64
+	var count, infBucket int64 = -1, -1
+	var gotSum float64 = math.NaN()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "test_latency_seconds_bucket{le=\"+Inf\"}"):
+			fmt.Sscanf(line, "test_latency_seconds_bucket{le=\"+Inf\"} %d", &infBucket)
+		case strings.HasPrefix(line, "test_latency_seconds_bucket{le="):
+			var le string
+			var c int64
+			if _, err := fmt.Sscanf(line, "test_latency_seconds_bucket{le=%q} %d", &le, &c); err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			bounds = append(bounds, le)
+			cums = append(cums, c)
+		case strings.HasPrefix(line, "test_latency_seconds_sum "):
+			gotSum, _ = strconv.ParseFloat(strings.TrimPrefix(line, "test_latency_seconds_sum "), 64)
+		case strings.HasPrefix(line, "test_latency_seconds_count "):
+			count, _ = strconv.ParseInt(strings.TrimPrefix(line, "test_latency_seconds_count "), 10, 64)
+		}
+	}
+	if len(bounds) != 4 {
+		t.Fatalf("got %d finite buckets (%v), want 4", len(bounds), bounds)
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Errorf("cumulative buckets decrease at %d: %v", i, cums)
+		}
+	}
+	if want := []int64{1, 3, 4, 5}; fmt.Sprint(cums) != fmt.Sprint(want) {
+		t.Errorf("cumulative buckets %v, want %v", cums, want)
+	}
+	if infBucket != int64(len(obs)) || count != int64(len(obs)) {
+		t.Errorf("+Inf bucket %d / _count %d, want both %d", infBucket, count, len(obs))
+	}
+	if math.Abs(gotSum-sum) > 1e-9 {
+		t.Errorf("_sum %g, want %g", gotSum, sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 = %g, want 0", q)
+	}
+	// 10 observations: 4 in (..1], 4 in (1,2], 2 in (2,5].
+	for i := 0; i < 4; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(1.5)
+	}
+	for i := 0; i < 2; i++ {
+		h.Observe(3)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.25, 1}, {0.5, 2}, {0.75, 2}, {0.95, 5}, {1, 5},
+	}
+	for _, tc := range cases {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// Everything beyond the last finite bound resolves to that bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(50)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("overflow-bucket p50 = %g, want last finite bound 1", got)
+	}
+}
+
+// TestHotPathDoesNotAllocate pins the zero-allocation contract of every
+// mutation the serving step loop performs.
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_c_total", "")
+	g := r.Gauge("test_g", "")
+	h := r.Histogram("test_h_seconds", "", nil)
+	vec := r.CounterVec("test_v_total", "", "k")
+	pre := vec.With("warm") // resolved once, held
+
+	if n := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(5)
+		g.Add(-1)
+		h.Observe(0.003)
+		pre.Inc()
+	}); n != 0 {
+		t.Errorf("hot-path mutations allocate %.1f times per run, want 0", n)
+	}
+}
+
+// TestConcurrentObserveWhileScraping hammers one histogram and counter
+// from several goroutines while scraping (run under -race in CI); every
+// rendered snapshot must keep the bucket invariants.
+func TestConcurrentObserveWhileScraping(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "", []float64{0.001, 0.01, 0.1})
+	c := r.Counter("test_conc_total", "")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(float64(i%200) / 1000)
+				c.Inc()
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		out := render(t, r)
+		var prev int64 = -1
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, "test_conc_seconds_bucket") {
+				continue
+			}
+			v, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Fatalf("bucket regression mid-scrape: %q after %d", line, prev)
+			}
+			prev = v
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("test_dup_total", "")
+	expectPanic("duplicate name", func() { r.Counter("test_dup_total", "") })
+	expectPanic("bad metric name", func() { r.Counter("0bad", "") })
+	expectPanic("reserved le label", func() { r.HistogramVec("test_le_seconds", "", nil, "le") })
+	expectPanic("unsorted buckets", func() { r.Histogram("test_unsorted", "", []float64{2, 1}) })
+	v := r.CounterVec("test_arity_total", "", "a", "b")
+	expectPanic("label arity", func() { v.With("only-one") })
+}

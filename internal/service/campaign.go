@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/adaptive"
 	"repro/internal/cascade"
@@ -49,7 +51,26 @@ type Campaign struct {
 	// other campaigns keep serving.
 	failErr   error
 	failStack string
+
+	// state mirrors the campaign's lifecycle phase as a lock-free word so
+	// the metrics gather can count states without taking c.mu — a scrape
+	// must never block behind a campaign wedged mid-step.
+	state atomic.Int32
+
+	// m plus the pre-resolved traffic handles and last-published batcher
+	// readings make the per-step instrumentation epilogue allocation-free.
+	// m is nil on campaigns opened from a bare (unattached) registry.
+	m                                              *Metrics
+	traf                                           trafficCounters
+	lastDrawn, lastReused, lastVisits, lastTouches int64
 }
+
+// Campaign lifecycle phases, as stored in Campaign.state.
+const (
+	campaignRunning int32 = iota
+	campaignDone
+	campaignFailed
+)
 
 // mutationWorldRNG derives the realization stream for the world sampled
 // after the n-th topology mutation. It is a pure function of (campaign
@@ -166,10 +187,18 @@ func (r *Registry) openCampaign(inst *Instance, id string, key Key, algo string,
 		inst.Release()
 		inst, key = derived, dkey
 	}
-	return &Campaign{
+	c := &Campaign{
 		ID: id, Key: key, Algo: algo, Seed: seed, Simulate: simulate,
 		reg: r, inst: inst, sess: sess, env: env, batcher: b,
-	}, nil
+	}
+	if m := r.metrics; m != nil {
+		c.m = m
+		c.traf = m.trafficFor(key)
+	}
+	if sess.Done() {
+		c.state.Store(campaignDone)
+	}
+	return c, nil
 }
 
 func (c *Campaign) failIfClosed() error {
@@ -194,11 +223,60 @@ func (c *Campaign) guard(err *error) {
 	if r := recover(); r != nil {
 		c.failErr = fmt.Errorf("panic: %v", r)
 		c.failStack = string(debug.Stack())
+		c.state.Store(campaignFailed)
 		*err = fmt.Errorf("service: campaign %s is failed: %w", c.ID, c.failErr)
 		return
 	}
 	if c.failErr == nil && !c.closed && c.sess.Err() != nil {
 		c.failErr = c.sess.Err()
+		c.state.Store(campaignFailed)
+	}
+}
+
+// finishStep is the instrumentation epilogue of every campaign advance,
+// deferred under c.mu so it runs right after guard: it refreshes the
+// lock-free state word and, when metrics are attached, records the step
+// latency and bridges the batcher's traffic deltas into the
+// instance-labeled counters. It must stay allocation-free — it sits
+// inside the steady-state step loop the zero-alloc test pins.
+func (c *Campaign) finishStep(start time.Time) {
+	switch {
+	case c.failErr != nil:
+		c.state.Store(campaignFailed)
+	case c.sess.Done():
+		c.state.Store(campaignDone)
+	}
+	if c.m == nil {
+		return
+	}
+	c.m.stepDur.Observe(time.Since(start).Seconds())
+	c.publishTraffic()
+}
+
+// publishTraffic adds the batcher's accounting since the previous
+// publish to the pre-resolved per-instance counters: the readings are
+// monotone between campaign checkouts (CheckoutBatcher resets them), so
+// the deltas are non-negative and four atomic adds suffice.
+func (c *Campaign) publishTraffic() {
+	b := c.batcher
+	if b == nil || c.traf.drawn == nil {
+		return
+	}
+	if v := b.Drawn(); v > c.lastDrawn {
+		c.traf.drawn.Add(v - c.lastDrawn)
+		c.lastDrawn = v
+	}
+	if v := b.Reused(); v > c.lastReused {
+		c.traf.reused.Add(v - c.lastReused)
+		c.lastReused = v
+	}
+	if v := b.Visits(); v > c.lastVisits {
+		c.traf.visits.Add(v - c.lastVisits)
+		c.lastVisits = v
+	}
+	if v := b.EdgeTouches(); v > c.lastTouches {
+		c.traf.touches.Add(v - c.lastTouches)
+		c.lastTouches = v
 	}
 }
 
@@ -208,6 +286,7 @@ func (c *Campaign) guard(err *error) {
 func (c *Campaign) Next() (seed graph.NodeID, stop bool, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.finishStep(time.Now())
 	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return 0, true, err
@@ -220,6 +299,7 @@ func (c *Campaign) Next() (seed graph.NodeID, stop bool, err error) {
 func (c *Campaign) Observe(activated []graph.NodeID) (err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.finishStep(time.Now())
 	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return err
@@ -232,6 +312,7 @@ func (c *Campaign) Observe(activated []graph.NodeID) (err error) {
 func (c *Campaign) Step() (seed graph.NodeID, stop bool, activated []graph.NodeID, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.finishStep(time.Now())
 	defer c.guard(&err)
 	if err := c.failIfClosed(); err != nil {
 		return 0, true, nil, err
@@ -302,6 +383,12 @@ func (c *Campaign) Mutate(inserts, deletes []graph.Edge, churnPct float64, churn
 	derived := c.reg.AdoptDerived(dkey, derivedPrepared(prep, c.sess))
 	c.inst.Release()
 	c.inst, c.Key = derived, dkey
+	if c.m != nil {
+		// Re-home the traffic series too: draws from here on belong to the
+		// epoch-keyed instance. The last-published readings carry over — the
+		// batcher's accounting is continuous across the mutation.
+		c.traf = c.m.trafficFor(dkey)
+	}
 	return &MutateInfo{
 		Key: dkey, Epoch: int64(n),
 		Inserted: dres.Inserted, Deleted: dres.Deleted, Touched: len(dres.Touched),
@@ -495,10 +582,23 @@ func (c *Campaign) Checkpoint(dir string) (path string, err error) {
 	}
 	payload := sealEnvelope(hdr, blob)
 	final := filepath.Join(dir, "campaign-"+c.ID+".ckpt")
-	if err := ckptRetry.Retry(func() error {
+	attempts := 0
+	werr := ckptRetry.Retry(func() error {
+		attempts++
 		return writeCheckpointFile(dir, final, payload)
-	}); err != nil {
-		return "", err
+	})
+	if c.m != nil {
+		if attempts > 1 {
+			c.m.ckptRetries.Add(int64(attempts - 1))
+		}
+		if werr != nil {
+			c.m.ckptWriteErr.Inc()
+		} else {
+			c.m.ckptWriteOK.Inc()
+		}
+	}
+	if werr != nil {
+		return "", werr
 	}
 	return final, nil
 }
@@ -639,6 +739,9 @@ func (r *Registry) RestoreCampaign(file string) (*Campaign, *RestoreInfo, error)
 		if err != nil {
 			if errors.Is(err, errCorruptCheckpoint) {
 				info.Quarantined = append(info.Quarantined, quarantine(cand))
+				if m := r.metrics; m != nil {
+					m.quarantines.Inc()
+				}
 				keep(fmt.Errorf("service: %s: %w", cand, err))
 				continue
 			}
@@ -651,10 +754,20 @@ func (r *Registry) RestoreCampaign(file string) (*Campaign, *RestoreInfo, error)
 			continue
 		}
 		info.File = cand
+		if m := r.metrics; m != nil {
+			if cand == file {
+				m.restoreOK.Inc()
+			} else {
+				m.restoreFallback.Inc()
+			}
+		}
 		return c, info, nil
 	}
 	if firstErr == nil {
 		firstErr = fmt.Errorf("service: %s: no checkpoint found", file)
+	}
+	if m := r.metrics; m != nil {
+		m.restoreErr.Inc()
 	}
 	return nil, info, firstErr
 }

@@ -9,7 +9,9 @@ import (
 	"testing"
 
 	"repro/internal/adaptive"
+	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // driveCampaign steps a simulated campaign to completion.
@@ -109,10 +111,13 @@ func TestConcurrentCampaignsShareOneInstance(t *testing.T) {
 }
 
 // TestWarmSecondCampaignAllocFree runs the same campaign twice on one
-// instance. The second run rides entirely on warm state — pooled batcher
-// arenas, persistent samplers, the session's scratch buffers — so its
-// steady-state rounds (everything after round one) must not allocate at
-// all inside NextSeed/Observe. env.Observe is excluded: building the
+// instance with metrics attached. The second run rides entirely on warm
+// state — pooled batcher arenas, persistent samplers, the session's
+// scratch buffers, pre-resolved metric handles — so its steady-state
+// rounds (everything after round one) must not allocate at all inside
+// Campaign.Next/Observe, instrumentation epilogue included: step-latency
+// observation and the traffic-counter bridge are atomics on handles
+// resolved at campaign open. env.Observe is excluded: building the
 // activation list for the caller is the environment's job, not session
 // overhead.
 func TestWarmSecondCampaignAllocFree(t *testing.T) {
@@ -122,6 +127,8 @@ func TestWarmSecondCampaignAllocFree(t *testing.T) {
 	spec := testSpec()
 	spec.Workers = 1 // parallel draw dispatch spawns goroutines, which allocate
 	reg := NewRegistry(spec, 0)
+	reg.AttachMetrics(NewMetrics(obs.NewRegistry()))
+	defer fault.SetObserver(nil)
 
 	run := func(measure bool) (res *adaptive.RunResult, mallocs uint64, rounds int) {
 		c, err := reg.StartCampaign("w", testKey(), adaptive.AlgoADDATP, 4242, true)
@@ -148,12 +155,12 @@ func TestWarmSecondCampaignAllocFree(t *testing.T) {
 		for {
 			var u graph.NodeID
 			var stop bool
-			step(func() (err error) { u, stop, err = c.sess.NextSeed(); return err })
+			step(func() (err error) { u, stop, err = c.Next(); return err })
 			if stop {
 				break
 			}
 			a := c.env.Observe(u)
-			step(func() error { return c.sess.Observe(a) })
+			step(func() error { return c.Observe(a) })
 			rounds++
 		}
 		return c.Result(), mallocs, rounds
@@ -161,14 +168,28 @@ func TestWarmSecondCampaignAllocFree(t *testing.T) {
 
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	cold, _, _ := run(false)
-	warm, mallocs, rounds := run(true)
+
+	// The runtime very occasionally contributes a stray allocation to the
+	// measured window (a parked channel op acquiring a sudog, scheduler
+	// noise under machine load), so a single nonzero reading retries: a
+	// systematic per-step allocation — the regression this test exists to
+	// catch — fails every attempt.
+	var warm *adaptive.RunResult
+	var mallocs uint64
+	var rounds int
+	for attempt := 0; attempt < 3; attempt++ {
+		warm, mallocs, rounds = run(true)
+		if mallocs == 0 {
+			break
+		}
+	}
 
 	sameOutcome(t, warm, cold, "warm vs cold")
 	if rounds < 2 {
 		t.Fatalf("campaign finished in %d rounds; too short to observe steady state", rounds)
 	}
 	if mallocs != 0 {
-		t.Errorf("warm campaign allocated %d times across %d steady-state rounds, want 0", mallocs, rounds-1)
+		t.Errorf("warm campaign allocated %d times across %d steady-state rounds in each of 3 attempts, want 0", mallocs, rounds-1)
 	}
 }
 

@@ -65,7 +65,12 @@ func (k Key) validate() error {
 // eviction of idle entries. Safe for concurrent use.
 type Registry struct {
 	base sweep.Spec // shared experiment parameters (K, seeds, θs, sampler…)
-	max  int        // entries kept beyond live refs; <= 0 means unlimited
+	max  int        // idle entries kept warm; <= 0 means unlimited
+
+	// metrics, when attached (AttachMetrics, before serving), counts
+	// prepares/evictions and exports occupancy gauges. Nil on bare
+	// registries; every read is nil-checked.
+	metrics *Metrics
 
 	mu      sync.Mutex
 	entries map[Key]*Instance
@@ -134,10 +139,14 @@ func (r *Registry) Acquire(key Key) (*Instance, error) {
 	return inst, nil
 }
 
-// evictLocked drops least-recently-used idle entries until the count fits
-// the configured maximum. Entries with live references never leave.
+// evictLocked drops least-recently-used idle entries until the *idle*
+// population fits the configured maximum — the contract the
+// -max-instances flag documents ("idle prepared instances kept warm").
+// Entries with live references never leave and never count against the
+// cap: a registry serving max live campaigns must not evict the one
+// idle instance a just-finished campaign parked warm.
 func (r *Registry) evictLocked() {
-	if r.max <= 0 || len(r.entries) <= r.max {
+	if r.max <= 0 {
 		return
 	}
 	type cand struct {
@@ -150,12 +159,15 @@ func (r *Registry) evictLocked() {
 			idle = append(idle, cand{k, e.stamp})
 		}
 	}
+	if len(idle) <= r.max {
+		return
+	}
 	sort.Slice(idle, func(i, j int) bool { return idle[i].stamp < idle[j].stamp })
-	for _, c := range idle {
-		if len(r.entries) <= r.max {
-			break
-		}
+	for _, c := range idle[:len(idle)-r.max] {
 		delete(r.entries, c.key)
+		if m := r.metrics; m != nil {
+			m.evictions.Inc()
+		}
 	}
 }
 
@@ -208,6 +220,9 @@ func (i *Instance) adopt(prep *sweep.Prepared) {
 // so a later Acquire can retry.
 func (i *Instance) Prepared() (*sweep.Prepared, error) {
 	i.once.Do(func() {
+		if m := i.reg.metrics; m != nil {
+			m.prepares.Inc()
+		}
 		// Fault-plane hook: a failed preparation is sticky until the last
 		// reference releases (dropping the entry), so injected errors here
 		// exercise the retry-on-next-Acquire path.
@@ -234,10 +249,17 @@ func (i *Instance) Release() {
 		panic("service: Release without matching Acquire")
 	}
 	i.refs--
-	if i.refs == 0 && i.prepErr != nil {
-		if r.entries[i.Key] == i {
-			delete(r.entries, i.Key)
+	if i.refs == 0 {
+		if i.prepErr != nil {
+			if r.entries[i.Key] == i {
+				delete(r.entries, i.Key)
+			}
+			return
 		}
+		// The entry just went idle, so it now counts against the idle cap;
+		// the LRU sweep must run here, not only on Acquire, or a busy
+		// server releasing its last campaign never trims the warm set.
+		r.evictLocked()
 	}
 }
 

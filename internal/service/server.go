@@ -11,9 +11,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Server exposes campaign lifecycle over HTTP (see routes in Handler).
@@ -32,6 +34,11 @@ type Server struct {
 	drainTimeout time.Duration
 	logW         io.Writer
 
+	// metrics is never nil: NewServer attaches a bundle to the registry
+	// if none is there yet. reqID numbers requests for the access log.
+	metrics *Metrics
+	reqID   atomic.Int64
+
 	mu        sync.Mutex
 	campaigns map[string]*Campaign
 	nextID    int
@@ -42,15 +49,48 @@ type Server struct {
 // non-empty, is where campaign checkpoints land — explicit checkpoint
 // requests and the Drain sweep both write there.
 func NewServer(reg *Registry, ckptDir string) *Server {
-	return &Server{
+	m := reg.Metrics()
+	if m == nil {
+		m = NewMetrics(obs.NewRegistry())
+		reg.AttachMetrics(m)
+	}
+	s := &Server{
 		reg: reg, ckptDir: ckptDir, campaigns: make(map[string]*Campaign),
 		stepSem:      make(chan struct{}, 2*runtime.GOMAXPROCS(0)),
 		drainTimeout: 30 * time.Second,
+		metrics:      m,
 	}
+	m.Reg.OnGather(s.gatherCampaigns)
+	return s
 }
 
 // Registry returns the server's instance registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the server's instrumentation bundle (never nil).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// gatherCampaigns snapshots open-campaign states into the gauges at
+// scrape time. It reads each campaign's lock-free state word, never its
+// mutex — a scrape must not block behind a campaign wedged mid-step.
+func (s *Server) gatherCampaigns() {
+	var running, done, failed int64
+	s.mu.Lock()
+	for _, c := range s.campaigns {
+		switch c.state.Load() {
+		case campaignFailed:
+			failed++
+		case campaignDone:
+			done++
+		default:
+			running++
+		}
+	}
+	s.mu.Unlock()
+	s.metrics.stRunning.Set(running)
+	s.metrics.stDone.Set(done)
+	s.metrics.stFailed.Set(failed)
+}
 
 // SetMaxConcurrentSteps caps in-flight campaign-advancing requests
 // (default 2×GOMAXPROCS). Call before serving.
@@ -92,23 +132,70 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 // Handler returns the route table. Method+wildcard patterns need the
-// Go 1.22 ServeMux.
+// Go 1.22 ServeMux. Every route is instrumented with request counts and
+// a latency histogram labeled by the route pattern (bounded cardinality,
+// unlike raw paths), and /metrics exposes the whole catalog.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/instances", s.handleInstances)
-	mux.HandleFunc("POST /v1/campaigns", s.handleCreate)
-	mux.HandleFunc("GET /v1/campaigns", s.handleList)
-	mux.HandleFunc("POST /v1/campaigns/restore", s.handleRestore)
-	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
-	mux.HandleFunc("POST /v1/campaigns/{id}/next", s.handleNext)
-	mux.HandleFunc("POST /v1/campaigns/{id}/observe", s.handleObserve)
-	mux.HandleFunc("POST /v1/campaigns/{id}/step", s.handleStep)
-	mux.HandleFunc("POST /v1/campaigns/{id}/mutate", s.handleMutate)
-	mux.HandleFunc("POST /v1/campaigns/{id}/checkpoint", s.handleCheckpoint)
-	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleDelete)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	route("GET /healthz", s.handleHealth)
+	route("GET /metrics", s.metrics.Reg.Handler().ServeHTTP)
+	route("GET /v1/instances", s.handleInstances)
+	route("POST /v1/campaigns", s.handleCreate)
+	route("GET /v1/campaigns", s.handleList)
+	route("POST /v1/campaigns/restore", s.handleRestore)
+	route("GET /v1/campaigns/{id}", s.handleStatus)
+	route("GET /v1/campaigns/{id}/result", s.handleResult)
+	route("POST /v1/campaigns/{id}/next", s.handleNext)
+	route("POST /v1/campaigns/{id}/observe", s.handleObserve)
+	route("POST /v1/campaigns/{id}/step", s.handleStep)
+	route("POST /v1/campaigns/{id}/mutate", s.handleMutate)
+	route("POST /v1/campaigns/{id}/checkpoint", s.handleCheckpoint)
+	route("DELETE /v1/campaigns/{id}", s.handleDelete)
 	return s.withRecovery(mux)
+}
+
+// statusWriter captures the status code and body size a handler writes.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps one route with metrics (requests by status, latency
+// by route pattern) and a request-ID access log line. The histogram
+// handle is resolved once per route at registration.
+func (s *Server) instrument(pattern string, h http.Handler) http.Handler {
+	hist := s.metrics.httpLatency.With(pattern)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			d := time.Since(start)
+			hist.Observe(d.Seconds())
+			s.metrics.httpRequests.With(pattern, strconv.Itoa(sw.code)).Inc()
+			if s.logW != nil {
+				s.logf("access req=%d method=%s route=%q path=%s status=%d bytes=%d dur_ms=%.3f",
+					id, r.Method, pattern, r.URL.Path, sw.code, sw.bytes,
+					float64(d.Microseconds())/1000)
+			}
+		}()
+		h.ServeHTTP(sw, r)
+	})
 }
 
 // withRecovery is the daemon's outermost blast-radius boundary: a panic
@@ -135,16 +222,24 @@ func (s *Server) withRecovery(h http.Handler) http.Handler {
 func (s *Server) acquireStep(w http.ResponseWriter) bool {
 	select {
 	case s.stepSem <- struct{}{}:
+		s.metrics.inflight.Inc()
 		return true
 	default:
-		w.Header().Set("Retry-After", "1")
+		s.metrics.throttled.Inc()
+		// The hint tracks observed load: p50 step latency rounded up to
+		// whole seconds (≥ 1), so clients of a saturated server back off
+		// for about one queue drain instead of a blind second.
+		w.Header().Set("Retry-After", strconv.Itoa(s.metrics.retryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests,
 			fmt.Errorf("service: %d campaign steps already in flight; retry shortly", cap(s.stepSem)))
 		return false
 	}
 }
 
-func (s *Server) releaseStep() { <-s.stepSem }
+func (s *Server) releaseStep() {
+	<-s.stepSem
+	s.metrics.inflight.Dec()
+}
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
